@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// \brief Shared setup for the figure/table reproduction binaries: dataset
+/// construction, index builders, and command-line knobs.
+///
+/// Every bench accepts:
+///   --queries=N   queries per data point (default 80)
+///   --objects=N   dataset cardinality (default 10000, the paper's UNIFORM)
+///   --real        use the REAL-substitute dataset (5848 clustered points)
+/// Metrics are printed in the paper's units: bytes (scaled per column).
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "datasets/datasets.hpp"
+#include "dsi/client.hpp"
+#include "dsi/index.hpp"
+#include "hci/hci.hpp"
+#include "hilbert/space_mapper.hpp"
+#include "rtree/rtree_air.hpp"
+#include "sim/runner.hpp"
+#include "sim/table.hpp"
+#include "sim/workload.hpp"
+
+namespace dsi::bench {
+
+struct Options {
+  size_t queries = 80;
+  size_t objects = 10000;
+  bool real = false;
+  uint64_t seed = 42;
+};
+
+inline Options ParseOptions(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--queries=", 0) == 0) {
+      opt.queries = static_cast<size_t>(std::stoul(arg.substr(10)));
+    } else if (arg.rfind("--objects=", 0) == 0) {
+      opt.objects = static_cast<size_t>(std::stoul(arg.substr(10)));
+    } else if (arg == "--real") {
+      opt.real = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::stoull(arg.substr(7));
+    }
+  }
+  return opt;
+}
+
+inline std::vector<datasets::SpatialObject> MakeDataset(const Options& opt) {
+  return opt.real ? datasets::MakeRealLike()
+                  : datasets::MakeUniform(opt.objects,
+                                          datasets::UnitUniverse(), opt.seed);
+}
+
+/// Curve order sized to the dataset (the paper scales curve order with
+/// density).
+inline int OrderFor(const Options& opt) {
+  return hilbert::ChooseOrder(opt.real ? 5848 : opt.objects);
+}
+
+inline core::DsiConfig DsiReorganized() {
+  core::DsiConfig c;
+  c.num_segments = 2;
+  return c;
+}
+
+inline core::DsiConfig DsiOriginal() { return core::DsiConfig{}; }
+
+/// The packet capacities of the evaluation; R-tree cannot be built at 32.
+inline const std::vector<size_t>& Capacities() {
+  static const std::vector<size_t> caps{32, 64, 128, 256, 512};
+  return caps;
+}
+
+}  // namespace dsi::bench

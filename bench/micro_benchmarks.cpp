@@ -1,0 +1,145 @@
+/// Google-benchmark micro benchmarks for the building blocks: Hilbert
+/// conversions, window decomposition, interval bookkeeping, index build and
+/// on-air query processing.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "datasets/datasets.hpp"
+#include "dsi/client.hpp"
+#include "dsi/index.hpp"
+#include "hilbert/interval_set.hpp"
+#include "hilbert/space_mapper.hpp"
+
+namespace {
+
+using namespace dsi;
+
+void BM_HilbertCellToIndex(benchmark::State& state) {
+  const hilbert::HilbertCurve curve(static_cast<int>(state.range(0)));
+  common::Rng rng(1);
+  const auto x = static_cast<uint32_t>(
+      rng.UniformInt(0, static_cast<int64_t>(curve.side()) - 1));
+  const auto y = static_cast<uint32_t>(
+      rng.UniformInt(0, static_cast<int64_t>(curve.side()) - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.CellToIndex(x, y));
+  }
+}
+BENCHMARK(BM_HilbertCellToIndex)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_HilbertIndexToCell(benchmark::State& state) {
+  const hilbert::HilbertCurve curve(static_cast<int>(state.range(0)));
+  common::Rng rng(2);
+  const auto d = static_cast<uint64_t>(
+      rng.UniformInt(0, static_cast<int64_t>(curve.num_cells()) - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.IndexToCell(d));
+  }
+}
+BENCHMARK(BM_HilbertIndexToCell)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_WindowToRanges(benchmark::State& state) {
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(),
+                                    static_cast<int>(state.range(0)));
+  const common::Rect w{0.4, 0.4, 0.5, 0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.WindowToRanges(w));
+  }
+}
+BENCHMARK(BM_WindowToRanges)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_CircleToRanges(benchmark::State& state) {
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(),
+                                    static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mapper.CircleToRanges(common::Point{0.45, 0.45}, 0.05));
+  }
+}
+BENCHMARK(BM_CircleToRanges)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_IntervalSetAdd(benchmark::State& state) {
+  common::Rng rng(3);
+  std::vector<hilbert::HcRange> ranges;
+  for (int i = 0; i < 1000; ++i) {
+    const auto lo = static_cast<uint64_t>(rng.UniformInt(0, 1 << 20));
+    ranges.push_back({lo, lo + static_cast<uint64_t>(rng.UniformInt(0, 64))});
+  }
+  for (auto _ : state) {
+    hilbert::IntervalSet set;
+    for (const auto& r : ranges) set.Add(r);
+    benchmark::DoNotOptimize(set.ranges().size());
+  }
+}
+BENCHMARK(BM_IntervalSetAdd);
+
+void BM_DsiIndexBuild(benchmark::State& state) {
+  const auto objects = datasets::MakeUniform(
+      static_cast<size_t>(state.range(0)), datasets::UnitUniverse(), 4);
+  const hilbert::SpaceMapper mapper(
+      datasets::UnitUniverse(),
+      hilbert::ChooseOrder(static_cast<size_t>(state.range(0))));
+  core::DsiConfig cfg;
+  cfg.num_segments = 2;
+  for (auto _ : state) {
+    const core::DsiIndex index(objects, mapper, 64, cfg);
+    benchmark::DoNotOptimize(index.num_frames());
+  }
+}
+BENCHMARK(BM_DsiIndexBuild)->Arg(1000)->Arg(10000);
+
+void BM_DsiPointQuery(benchmark::State& state) {
+  const auto objects =
+      datasets::MakeUniform(10000, datasets::UnitUniverse(), 5);
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(),
+                                    hilbert::ChooseOrder(10000));
+  core::DsiConfig cfg;
+  cfg.num_segments = 2;
+  const core::DsiIndex index(objects, mapper, 64, cfg);
+  common::Rng rng(6);
+  for (auto _ : state) {
+    const auto& target = index.sorted_objects()[static_cast<size_t>(
+        rng.UniformInt(0, 9999))];
+    broadcast::ClientSession session(
+        index.program(),
+        static_cast<uint64_t>(
+            rng.UniformInt(0, static_cast<int64_t>(
+                                  index.program().cycle_packets()) -
+                                  1)),
+        broadcast::ErrorModel{}, rng.Fork());
+    core::DsiClient client(index, &session);
+    benchmark::DoNotOptimize(client.PointQuery(target.location));
+  }
+}
+BENCHMARK(BM_DsiPointQuery);
+
+void BM_DsiWindowQuery(benchmark::State& state) {
+  const auto objects =
+      datasets::MakeUniform(10000, datasets::UnitUniverse(), 5);
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(),
+                                    hilbert::ChooseOrder(10000));
+  core::DsiConfig cfg;
+  cfg.num_segments = 2;
+  const core::DsiIndex index(objects, mapper, 64, cfg);
+  common::Rng rng(7);
+  for (auto _ : state) {
+    const common::Point c{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const common::Rect w =
+        common::MakeClippedWindow(c, 0.1, datasets::UnitUniverse());
+    broadcast::ClientSession session(
+        index.program(),
+        static_cast<uint64_t>(
+            rng.UniformInt(0, static_cast<int64_t>(
+                                  index.program().cycle_packets()) -
+                                  1)),
+        broadcast::ErrorModel{}, rng.Fork());
+    core::DsiClient client(index, &session);
+    benchmark::DoNotOptimize(client.WindowQuery(w));
+  }
+}
+BENCHMARK(BM_DsiWindowQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

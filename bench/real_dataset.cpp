@@ -1,0 +1,67 @@
+/// Reproduces the paper's REAL-dataset results, which are summarized in its
+/// text rather than plotted (window: DSI needs 59.7% of R-tree and 50.5% of
+/// HCI latency; 75.2% / 41.5% of their tuning). Uses the REAL substitute
+/// (5848 clustered points, DESIGN.md §5). Window (ratio 0.1) and 10NN at
+/// 64-byte packets, plus the DSI/R-tree and DSI/HCI ratios.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsi;
+  bench::Options opt = bench::ParseOptions(argc, argv);
+  opt.real = true;
+  const auto objects = bench::MakeDataset(opt);
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(),
+                                    bench::OrderFor(opt));
+  constexpr size_t kCapacity = 64;
+  const auto windows = sim::MakeWindowWorkload(
+      opt.queries, 0.1, datasets::UnitUniverse(), opt.seed + 1);
+  const auto points =
+      sim::MakeKnnWorkload(opt.queries, datasets::UnitUniverse(), opt.seed + 2);
+
+  const core::DsiIndex dsi(objects, mapper, kCapacity,
+                           bench::DsiReorganized());
+  const rtree::RtreeIndex rt(objects, kCapacity);
+  const hci::HciIndex hci(objects, mapper, kCapacity);
+
+  std::cout << "REAL dataset (substitute, " << objects.size()
+            << " clustered points, capacity=64B, " << opt.queries
+            << " queries/point)\n\n";
+
+  const auto dw = sim::RunDsiWindow(dsi, windows, 0.0, opt.seed + 3);
+  const auto rw = sim::RunRtreeWindow(rt, windows, 0.0, opt.seed + 3);
+  const auto hw = sim::RunHciWindow(hci, windows, 0.0, opt.seed + 3);
+  const auto dk = sim::RunDsiKnn(dsi, points, 10,
+                                 core::KnnStrategy::kConservative, 0.0,
+                                 opt.seed + 4);
+  const auto rk = sim::RunRtreeKnn(rt, points, 10, 0.0, opt.seed + 4);
+  const auto hk = sim::RunHciKnn(hci, points, 10, 0.0, opt.seed + 4);
+
+  std::cout << "Absolute metrics, bytes x10^3:\n";
+  sim::TablePrinter t({"Query", "Lat(DSI)", "Lat(Rtree)", "Lat(HCI)",
+                       "Tun(DSI)", "Tun(Rtree)", "Tun(HCI)"});
+  t.PrintHeader();
+  t.PrintRow("Window", dw.latency_bytes / 1e3, rw.latency_bytes / 1e3,
+             hw.latency_bytes / 1e3, dw.tuning_bytes / 1e3,
+             rw.tuning_bytes / 1e3, hw.tuning_bytes / 1e3);
+  t.PrintRow("10NN", dk.latency_bytes / 1e3, rk.latency_bytes / 1e3,
+             hk.latency_bytes / 1e3, dk.tuning_bytes / 1e3,
+             rk.tuning_bytes / 1e3, hk.tuning_bytes / 1e3);
+
+  std::cout << "\nDSI as % of baseline (paper, window: 59.7% of R-tree / "
+               "50.5% of HCI latency; 75.2% / 41.5% tuning):\n";
+  sim::TablePrinter p({"Query", "Lat/Rtree%", "Lat/HCI%", "Tun/Rtree%",
+                       "Tun/HCI%"});
+  p.PrintHeader();
+  p.PrintRow("Window", dw.latency_bytes / rw.latency_bytes * 100.0,
+             dw.latency_bytes / hw.latency_bytes * 100.0,
+             dw.tuning_bytes / rw.tuning_bytes * 100.0,
+             dw.tuning_bytes / hw.tuning_bytes * 100.0);
+  p.PrintRow("10NN", dk.latency_bytes / rk.latency_bytes * 100.0,
+             dk.latency_bytes / hk.latency_bytes * 100.0,
+             dk.tuning_bytes / rk.tuning_bytes * 100.0,
+             dk.tuning_bytes / hk.tuning_bytes * 100.0);
+  return 0;
+}

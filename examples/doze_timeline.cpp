@@ -1,0 +1,80 @@
+/// Visualizes the energy story behind the tuning-time metric: an ASCII
+/// timeline of a client's radio state during one DSI window query. Each
+/// character is a fixed slice of broadcast time — '#' means the radio was
+/// on (probe/listen), '.' means doze. The fraction of '#' is exactly
+/// tuning_time / access_latency.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datasets/datasets.hpp"
+#include "dsi/client.hpp"
+#include "dsi/index.hpp"
+#include "hilbert/space_mapper.hpp"
+
+int main() {
+  using namespace dsi;
+
+  const auto objects = datasets::MakeUniform(3000, datasets::UnitUniverse(), 8);
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(),
+                                    hilbert::ChooseOrder(objects.size()));
+  core::DsiConfig config;
+  config.num_segments = 2;
+  const core::DsiIndex index(objects, mapper, 64, config);
+
+  broadcast::ClientSession session(index.program(), 424242,
+                                   broadcast::ErrorModel{}, common::Rng(6));
+  std::vector<broadcast::TraceEvent> trace;
+  session.set_trace(&trace);
+
+  core::DsiClient client(index, &session);
+  const common::Rect window{0.60, 0.20, 0.72, 0.32};
+  const auto result = client.WindowQuery(window);
+  const auto m = session.metrics();
+
+  std::printf("window query: %zu results, latency %.1f KiB, tuning %.1f KiB "
+              "(radio on %.1f%% of the time)\n\n",
+              result.size(), m.access_latency_bytes / 1024.0,
+              m.tuning_bytes / 1024.0,
+              100.0 * static_cast<double>(m.tuning_bytes) /
+                  static_cast<double>(m.access_latency_bytes));
+
+  // Render the trace into a fixed-width band.
+  constexpr size_t kCols = 76;
+  constexpr size_t kRows = 6;
+  const uint64_t t0 = trace.front().start_packet;
+  const uint64_t t1 = trace.back().end_packet;
+  const double per_cell =
+      static_cast<double>(t1 - t0) / static_cast<double>(kCols * kRows);
+  std::string band(kCols * kRows, '.');
+  for (const auto& e : trace) {
+    if (e.kind == broadcast::TraceEvent::Kind::kDoze) continue;
+    const auto a = static_cast<size_t>((e.start_packet - t0) / per_cell);
+    auto b = static_cast<size_t>(
+        (static_cast<double>(e.end_packet - t0) / per_cell));
+    b = std::min(b, band.size() - 1);
+    for (size_t i = a; i <= b; ++i) band[i] = '#';
+  }
+  std::printf("tune-in %-62s\n", "('#' radio on, '.' doze)");
+  for (size_t row = 0; row < kRows; ++row) {
+    std::printf("  |%s|\n", band.substr(row * kCols, kCols).c_str());
+  }
+
+  // Event digest.
+  size_t listens = 0;
+  size_t dozes = 0;
+  uint64_t longest_doze = 0;
+  for (const auto& e : trace) {
+    if (e.kind == broadcast::TraceEvent::Kind::kListen) ++listens;
+    if (e.kind == broadcast::TraceEvent::Kind::kDoze) {
+      ++dozes;
+      longest_doze = std::max(longest_doze, e.end_packet - e.start_packet);
+    }
+  }
+  std::printf("\n%zu listen episodes, %zu doze episodes; longest doze %.1f "
+              "KiB of broadcast went by with the radio off.\n",
+              listens, dozes,
+              longest_doze * index.program().packet_capacity() / 1024.0);
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// A location-based-services tour: a vehicle drives across the city and
+/// re-issues a 5NN query ("nearest fuel stations") at every waypoint,
+/// always tuning in exactly where the previous query left the channel —
+/// the continuous-listening pattern of a navigation device on a broadcast
+/// network. Prints the per-waypoint costs and the running totals.
+
+#include <cstdio>
+#include <cmath>
+
+#include "datasets/datasets.hpp"
+#include "dsi/client.hpp"
+#include "dsi/index.hpp"
+#include "hilbert/space_mapper.hpp"
+
+int main() {
+  using namespace dsi;
+
+  const auto stations =
+      datasets::MakeClustered(3000, 60, 0.03, 0.15,
+                              datasets::UnitUniverse(), 21);
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(),
+                                    hilbert::ChooseOrder(stations.size()));
+  core::DsiConfig config;
+  config.num_segments = 2;
+  const core::DsiIndex index(stations, mapper, 64, config);
+
+  // A diagonal drive with a gentle curve.
+  constexpr int kWaypoints = 8;
+  uint64_t channel_time = 0;  // resume where the last query stopped
+  uint64_t total_tuning = 0;
+  uint64_t total_latency = 0;
+
+  std::printf("%-10s%12s%14s%14s%16s\n", "waypoint", "position",
+              "latency KiB", "tuning KiB", "nearest dist");
+  for (int i = 0; i < kWaypoints; ++i) {
+    const double t = static_cast<double>(i) / (kWaypoints - 1);
+    const common::Point pos{0.1 + 0.8 * t,
+                            0.2 + 0.6 * t + 0.1 * std::sin(6.28 * t)};
+    broadcast::ClientSession session(index.program(), channel_time,
+                                     broadcast::ErrorModel{},
+                                     common::Rng(100 + i));
+    core::DsiClient client(index, &session);
+    const auto result = client.KnnQuery(pos, 5);
+    const auto m = session.metrics();
+    channel_time = session.now_packets();  // keep riding the channel
+    total_tuning += m.tuning_bytes;
+    total_latency += m.access_latency_bytes;
+    std::printf("%-10d(%.2f,%.2f)%14.1f%14.1f%16.4f\n", i, pos.x, pos.y,
+                m.access_latency_bytes / 1024.0, m.tuning_bytes / 1024.0,
+                result.empty()
+                    ? -1.0
+                    : common::Distance(pos, result.front().location));
+  }
+  std::printf("\ntour total: latency %.1f KiB (%.2f cycles), tuning %.1f "
+              "KiB — the radio was on %.1f%% of the drive.\n",
+              total_latency / 1024.0,
+              static_cast<double>(total_latency) /
+                  index.program().cycle_bytes(),
+              total_tuning / 1024.0,
+              100.0 * static_cast<double>(total_tuning) /
+                  static_cast<double>(total_latency));
+  return 0;
+}

@@ -1,0 +1,80 @@
+/// Traffic-information broadcast: a city server pushes sensor readings for
+/// thousands of road segments over FM subcarrier (the paper's MSN Direct
+/// motivation). A commuter's device wants every reading inside its map
+/// viewport, and battery life depends on how long the radio stays on.
+///
+/// The example runs the same viewport query against all three air indexes
+/// (DSI, STR R-tree, HCI) on the same data and packet size, and prints the
+/// latency/tuning economics side by side.
+
+#include <cstdio>
+
+#include "datasets/datasets.hpp"
+#include "dsi/client.hpp"
+#include "dsi/index.hpp"
+#include "hci/hci.hpp"
+#include "hilbert/space_mapper.hpp"
+#include "rtree/rtree_air.hpp"
+
+int main() {
+  using namespace dsi;
+
+  // Sensor locations cluster along arterial roads: use the clustered
+  // generator (80 clusters ~ intersections, 10% background).
+  const auto sensors = datasets::MakeClustered(
+      4000, 80, 0.02, 0.1, datasets::UnitUniverse(), 11);
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(),
+                                    hilbert::ChooseOrder(sensors.size()));
+  constexpr size_t kCapacity = 128;
+
+  core::DsiConfig config;
+  config.num_segments = 2;
+  const core::DsiIndex dsi(sensors, mapper, kCapacity, config);
+  const rtree::RtreeIndex rtree(sensors, kCapacity);
+  const hci::HciIndex hci(sensors, mapper, kCapacity);
+
+  // The commuter's viewport: a 12% x 12% slice of the city.
+  const common::Rect viewport{0.30, 0.55, 0.42, 0.67};
+  const uint64_t tune_in = 777777;
+
+  std::printf("viewport [%.2f,%.2f]x[%.2f,%.2f], packet %zu B\n\n",
+              viewport.min_x, viewport.max_x, viewport.min_y, viewport.max_y,
+              kCapacity);
+  std::printf("%-8s%14s%16s%14s\n", "index", "readings", "latency KiB",
+              "tuning KiB");
+
+  size_t dsi_count = 0;
+  {
+    broadcast::ClientSession s(dsi.program(), tune_in,
+                               broadcast::ErrorModel{}, common::Rng(3));
+    core::DsiClient c(dsi, &s);
+    dsi_count = c.WindowQuery(viewport).size();
+    const auto m = s.metrics();
+    std::printf("%-8s%14zu%16.1f%14.1f\n", "DSI", dsi_count,
+                m.access_latency_bytes / 1024.0, m.tuning_bytes / 1024.0);
+  }
+  {
+    broadcast::ClientSession s(rtree.program(), tune_in,
+                               broadcast::ErrorModel{}, common::Rng(3));
+    rtree::RtreeClient c(rtree, &s);
+    const size_t n = c.WindowQuery(viewport).size();
+    const auto m = s.metrics();
+    std::printf("%-8s%14zu%16.1f%14.1f\n", "R-tree", n,
+                m.access_latency_bytes / 1024.0, m.tuning_bytes / 1024.0);
+  }
+  {
+    broadcast::ClientSession s(hci.program(), tune_in,
+                               broadcast::ErrorModel{}, common::Rng(3));
+    hci::HciClient c(hci, &s);
+    const size_t n = c.WindowQuery(viewport).size();
+    const auto m = s.metrics();
+    std::printf("%-8s%14zu%16.1f%14.1f\n", "HCI", n,
+                m.access_latency_bytes / 1024.0, m.tuning_bytes / 1024.0);
+  }
+
+  std::printf(
+      "\nAll three indexes return the same %zu readings; they differ only "
+      "in how long the commuter waits and how long the radio is awake.\n",
+      dsi_count);
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "bptree/bptree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsi::bptree {
+
+BptTree::BptTree(std::vector<uint64_t> keys, uint32_t fanout)
+    : keys_(std::move(keys)) {
+  assert(!keys_.empty());
+  assert(fanout >= 2);
+  assert(std::is_sorted(keys_.begin(), keys_.end()));
+
+  // Leaves: data ids packed fanout per node, key order (= data id order).
+  const auto n = static_cast<uint32_t>(keys_.size());
+  std::vector<uint32_t> level_nodes;
+  for (uint32_t first = 0; first < n; first += fanout) {
+    const uint32_t id = static_cast<uint32_t>(entries_.size());
+    std::vector<BptEntry> es;
+    for (uint32_t i = first; i < std::min(n, first + fanout); ++i) {
+      es.push_back(BptEntry{keys_[i], i});
+    }
+    entries_.push_back(std::move(es));
+    levels_.push_back(0);
+    level_nodes.push_back(id);
+  }
+  num_leaves_ = static_cast<uint32_t>(level_nodes.size());
+
+  // Internal levels until a single root remains.
+  uint32_t level = 0;
+  while (level_nodes.size() > 1) {
+    ++level;
+    std::vector<uint32_t> next;
+    for (size_t first = 0; first < level_nodes.size(); first += fanout) {
+      const uint32_t id = static_cast<uint32_t>(entries_.size());
+      std::vector<BptEntry> es;
+      for (size_t i = first; i < std::min(level_nodes.size(), first + fanout);
+           ++i) {
+        const uint32_t child = level_nodes[i];
+        es.push_back(BptEntry{entries_[child].front().key, child});
+      }
+      entries_.push_back(std::move(es));
+      levels_.push_back(level);
+      next.push_back(id);
+    }
+    level_nodes = std::move(next);
+  }
+  root_ = level_nodes.front();
+  height_ = level;
+}
+
+size_t BptTree::DescendIndexForRange(uint32_t node_id, uint64_t key) const {
+  const auto& es = entries_[node_id];
+  // Last entry with es[i].key < key; 0 when no key is smaller.
+  auto it = std::lower_bound(
+      es.begin(), es.end(), key,
+      [](const BptEntry& e, uint64_t k) { return e.key < k; });
+  if (it == es.begin()) return 0;
+  return static_cast<size_t>(std::distance(es.begin(), it)) - 1;
+}
+
+size_t BptTree::DescendIndex(uint32_t node_id, uint64_t key) const {
+  const auto& es = entries_[node_id];
+  // Last entry with es[i].key <= key; 0 when key precedes everything.
+  auto it = std::upper_bound(
+      es.begin(), es.end(), key,
+      [](uint64_t k, const BptEntry& e) { return k < e.key; });
+  if (it == es.begin()) return 0;
+  return static_cast<size_t>(std::distance(es.begin(), it)) - 1;
+}
+
+uint32_t BptTree::FindLeaf(uint64_t key) const {
+  uint32_t node = root_;
+  while (!is_leaf(node)) {
+    node = entries_[node][DescendIndex(node, key)].child;
+  }
+  return node;
+}
+
+broadcast::AirTreeSpec BptTree::ToAirSpec(
+    const std::vector<uint32_t>& data_sizes) const {
+  assert(data_sizes.size() == keys_.size());
+  broadcast::AirTreeSpec spec;
+  spec.nodes.resize(entries_.size());
+  for (size_t id = 0; id < entries_.size(); ++id) {
+    auto& node = spec.nodes[id];
+    node.level = levels_[id];
+    node.size_bytes = NodeBytes(static_cast<uint32_t>(id));
+    node.children.reserve(entries_[id].size());
+    for (const BptEntry& e : entries_[id]) node.children.push_back(e.child);
+  }
+  spec.root = root_;
+  spec.data_sizes = data_sizes;
+  return spec;
+}
+
+}  // namespace dsi::bptree

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file bptree.hpp
+/// \brief A bulk-loaded, static B+-tree over Hilbert-curve values — the
+/// index structure of the HCI baseline ("It adopts a B+-tree to index data
+/// objects broadcast according to the Hilbert Curve order").
+///
+/// On air, every entry is an HC value (16 B) plus a pointer (2 B); the node
+/// fanout is what fits in one packet, so node size tracks packet capacity
+/// (the reason HCI's costs grow with capacity in the paper's figures).
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/air_tree.hpp"
+#include "common/sizes.hpp"
+
+namespace dsi::bptree {
+
+/// One entry as a client decodes it: the minimum key of the child subtree
+/// (internal nodes) or the exact key of a data object (leaves).
+struct BptEntry {
+  uint64_t key = 0;
+  uint32_t child = 0;  ///< Node id (internal) or data id (leaf).
+};
+
+/// Bulk-loaded static B+-tree over sorted keys.
+class BptTree {
+ public:
+  /// \param keys Sorted (ascending, duplicates allowed) key of each data
+  /// bucket; data id i carries key keys[i].
+  /// \param fanout Maximum entries per node (>= 2).
+  BptTree(std::vector<uint64_t> keys, uint32_t fanout);
+
+  /// Node fanout that fits one packet of the given capacity (>= 2).
+  static uint32_t FanoutForCapacity(size_t packet_capacity) {
+    const auto f = static_cast<uint32_t>(packet_capacity /
+                                         common::kHcIndexEntryBytes);
+    return f < 2 ? 2 : f;
+  }
+
+  uint32_t root() const { return root_; }
+  uint32_t height() const { return height_; }  ///< Levels; leaf = level 0.
+  size_t num_nodes() const { return entries_.size(); }
+  size_t num_keys() const { return keys_.size(); }
+  uint64_t key(uint32_t data_id) const { return keys_[data_id]; }
+
+  const std::vector<BptEntry>& entries(uint32_t node_id) const {
+    return entries_[node_id];
+  }
+  uint32_t level(uint32_t node_id) const { return levels_[node_id]; }
+  bool is_leaf(uint32_t node_id) const { return levels_[node_id] == 0; }
+
+  /// Id of the leaf that may contain \p key: the leaf whose key range
+  /// [min_key, next leaf min) covers it (the first leaf for keys below the
+  /// global minimum).
+  uint32_t FindLeaf(uint64_t key) const;
+
+  /// Child entry index to follow inside \p node_id when descending toward
+  /// \p key: the last entry with entry.key <= key (0 if all are greater).
+  size_t DescendIndex(uint32_t node_id, uint64_t key) const;
+
+  /// Child entry index for a *range scan* starting at \p key: the last
+  /// entry with entry.key strictly < key (0 if none). Needed when duplicate
+  /// keys span node boundaries — a run of keys equal to \p key may begin in
+  /// the child before the one DescendIndex picks.
+  size_t DescendIndexForRange(uint32_t node_id, uint64_t key) const;
+
+  /// Leaf id holding data id \p data_id plus the id of the leaf after a
+  /// given one (num_nodes() sentinel when past the last leaf). Leaves are
+  /// numbered contiguously 0..num_leaves-1 in key order by construction.
+  uint32_t num_leaves() const { return num_leaves_; }
+  uint32_t NextLeaf(uint32_t leaf_id) const {
+    return leaf_id + 1 < num_leaves_ ? leaf_id + 1 : UINT32_MAX;
+  }
+
+  /// Serialized node size in bytes (entries only, per the paper's field
+  /// accounting).
+  uint32_t NodeBytes(uint32_t node_id) const {
+    return static_cast<uint32_t>(entries_[node_id].size() *
+                                 common::kHcIndexEntryBytes);
+  }
+
+  /// Converts the tree to the generic air-tree spec (data sizes are the
+  /// caller's, usually kDataObjectBytes per object).
+  broadcast::AirTreeSpec ToAirSpec(
+      const std::vector<uint32_t>& data_sizes) const;
+
+ private:
+  std::vector<uint64_t> keys_;
+  std::vector<std::vector<BptEntry>> entries_;  // by node id
+  std::vector<uint32_t> levels_;                // by node id
+  uint32_t root_ = 0;
+  uint32_t height_ = 0;
+  uint32_t num_leaves_ = 0;
+};
+
+}  // namespace dsi::bptree

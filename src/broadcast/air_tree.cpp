@@ -1,0 +1,193 @@
+#include "broadcast/air_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsi::broadcast {
+
+namespace {
+
+/// Preorder (left-to-right) node order of the whole tree, plus the data
+/// ids in leaf order.
+void PreorderAndData(const AirTreeSpec& spec, std::vector<uint32_t>* order,
+                     std::vector<uint32_t>* data_ids) {
+  std::vector<uint32_t> stack{spec.root};
+  while (!stack.empty()) {
+    const uint32_t id = stack.back();
+    stack.pop_back();
+    order->push_back(id);
+    const auto& node = spec.nodes[id];
+    if (node.level == 0) {
+      for (uint32_t d : node.children) data_ids->push_back(d);
+    } else {
+      for (auto it = node.children.rbegin(); it != node.children.rend();
+           ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AirTreeBroadcast::AirTreeBroadcast(AirTreeSpec spec, size_t packet_capacity,
+                                   uint32_t target_subtrees,
+                                   TreeLayout layout)
+    : spec_(std::move(spec)), program_(packet_capacity), layout_(layout) {
+  assert(!spec_.nodes.empty());
+  assert(spec_.root < spec_.nodes.size());
+  target_subtrees = std::max<uint32_t>(target_subtrees, 1);
+  node_slots_.resize(spec_.nodes.size());
+  data_slot_.assign(spec_.data_sizes.size(), SIZE_MAX);
+
+  switch (layout_) {
+    case TreeLayout::kDistributed:
+      BuildDistributed(target_subtrees);
+      break;
+    case TreeLayout::kOneM:
+      BuildOneM(target_subtrees);
+      break;
+  }
+  program_.Finalize();
+  // Slots were appended in broadcast order; occurrence lists are sorted by
+  // construction.
+}
+
+void AirTreeBroadcast::BuildDistributed(uint32_t target_subtrees) {
+  const uint32_t root_level = spec_.nodes[spec_.root].level;
+
+  // Count nodes per level to find the distribution level: the highest level
+  // with at least target_subtrees nodes (or the leaf level if none).
+  std::vector<uint32_t> level_count(root_level + 1, 0);
+  for (const auto& n : spec_.nodes) {
+    assert(n.level <= root_level);
+    ++level_count[n.level];
+  }
+  distribution_level_ = 0;
+  for (uint32_t lvl = root_level;; --lvl) {
+    if (level_count[lvl] >= target_subtrees || lvl == 0) {
+      distribution_level_ = lvl;
+      break;
+    }
+  }
+
+  // Collect subtree roots (distribution-level nodes) left to right, and the
+  // ancestor path (root .. parent) to emit before each subtree.
+  struct PathedRoot {
+    uint32_t node;
+    std::vector<uint32_t> path;
+  };
+  std::vector<PathedRoot> roots;
+  {
+    std::vector<std::pair<uint32_t, std::vector<uint32_t>>> stack;
+    stack.emplace_back(spec_.root, std::vector<uint32_t>{});
+    // Depth-first, left to right (stack gets children reversed).
+    while (!stack.empty()) {
+      auto [id, path] = std::move(stack.back());
+      stack.pop_back();
+      const auto& node = spec_.nodes[id];
+      if (node.level == distribution_level_) {
+        roots.push_back(PathedRoot{id, std::move(path)});
+        continue;
+      }
+      path.push_back(id);
+      for (auto it = node.children.rbegin(); it != node.children.rend();
+           ++it) {
+        stack.emplace_back(*it, path);
+      }
+    }
+  }
+
+  subtree_roots_.reserve(roots.size());
+  for (const PathedRoot& r : roots) {
+    subtree_roots_.push_back(r.node);
+    // Replicated part: the ancestor path, root first.
+    for (uint32_t anc : r.path) {
+      node_slots_[anc].push_back(program_.AddBucket(
+          BucketKind::kIndexNode, anc, spec_.nodes[anc].size_bytes));
+    }
+    // Non-replicated part: subtree nodes in DFS preorder, then its data.
+    std::vector<uint32_t> order;
+    std::vector<uint32_t> data_ids;
+    {
+      std::vector<uint32_t> stack{r.node};
+      while (!stack.empty()) {
+        const uint32_t id = stack.back();
+        stack.pop_back();
+        order.push_back(id);
+        const auto& node = spec_.nodes[id];
+        if (node.level == 0) {
+          for (uint32_t d : node.children) data_ids.push_back(d);
+        } else {
+          for (auto it = node.children.rbegin(); it != node.children.rend();
+               ++it) {
+            stack.push_back(*it);
+          }
+        }
+      }
+    }
+    for (uint32_t id : order) {
+      node_slots_[id].push_back(program_.AddBucket(
+          BucketKind::kIndexNode, id, spec_.nodes[id].size_bytes));
+    }
+    for (uint32_t d : data_ids) {
+      assert(d < spec_.data_sizes.size());
+      assert(data_slot_[d] == SIZE_MAX);  // each datum broadcast once
+      data_slot_[d] =
+          program_.AddBucket(BucketKind::kDataObject, d, spec_.data_sizes[d]);
+    }
+  }
+}
+
+void AirTreeBroadcast::BuildOneM(uint32_t copies) {
+  distribution_level_ = spec_.nodes[spec_.root].level;
+  subtree_roots_.assign(copies, spec_.root);
+
+  std::vector<uint32_t> order;
+  std::vector<uint32_t> data_ids;
+  PreorderAndData(spec_, &order, &data_ids);
+
+  const size_t total = data_ids.size();
+  const size_t chunk = (total + copies - 1) / std::max<uint32_t>(copies, 1);
+  size_t next_data = 0;
+  for (uint32_t copy = 0; copy < copies; ++copy) {
+    // One full copy of the index...
+    for (uint32_t id : order) {
+      node_slots_[id].push_back(program_.AddBucket(
+          BucketKind::kIndexNode, id, spec_.nodes[id].size_bytes));
+    }
+    // ...followed by the next 1/m of the data.
+    const size_t end = std::min(total, next_data + chunk);
+    for (; next_data < end; ++next_data) {
+      const uint32_t d = data_ids[next_data];
+      assert(data_slot_[d] == SIZE_MAX);
+      data_slot_[d] =
+          program_.AddBucket(BucketKind::kDataObject, d, spec_.data_sizes[d]);
+    }
+  }
+  assert(next_data == total);
+}
+
+size_t AirTreeBroadcast::NextNodeSlot(uint32_t node_id,
+                                      const ClientSession& session) const {
+  const auto& slots = node_slots_[node_id];
+  assert(!slots.empty());
+  size_t best = slots.front();
+  uint64_t best_wait = session.PacketsUntil(slots.front());
+  for (size_t i = 1; i < slots.size(); ++i) {
+    const uint64_t wait = session.PacketsUntil(slots[i]);
+    if (wait < best_wait) {
+      best_wait = wait;
+      best = slots[i];
+    }
+  }
+  return best;
+}
+
+size_t AirTreeBroadcast::DataSlot(uint32_t data_id) const {
+  assert(data_id < data_slot_.size());
+  assert(data_slot_[data_id] != SIZE_MAX);
+  return data_slot_[data_id];
+}
+
+}  // namespace dsi::broadcast

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file air_tree.hpp
+/// \brief Generic "tree on air" broadcast layout implementing the
+/// distributed indexing scheme of Imielinski et al. [9], which the paper
+/// uses for both baselines ("Both implementation of R-tree and B+-tree are
+/// based on the well known distributed indexing scheme").
+///
+/// The tree is cut at a *distribution level*: the subtrees rooted there are
+/// broadcast exactly once per cycle (non-replicated part), while the path
+/// of ancestors above each subtree is re-broadcast right before it
+/// (replicated part). Each subtree's data buckets follow its index nodes:
+///
+///   [path][subtree_1 nodes][subtree_1 data][path][subtree_2 nodes]...
+///
+/// Clients navigate by reading a node, choosing children, and dozing to the
+/// next occurrence of each child's bucket — wrapping into the next cycle
+/// whenever the needed node has already gone by (the fundamental cost of
+/// tree indexes on air that DSI avoids).
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/client.hpp"
+#include "broadcast/program.hpp"
+
+namespace dsi::broadcast {
+
+/// Logical description of a static, bulk-loaded tree to put on air.
+struct AirTreeSpec {
+  struct Node {
+    uint32_t level = 0;  ///< 0 = leaf level; root has the maximum level.
+    /// Child node ids (level > 0) or data bucket ids (level == 0), ordered
+    /// left to right (the broadcast order of the indexed space).
+    std::vector<uint32_t> children;
+    uint32_t size_bytes = 0;  ///< Serialized node size.
+  };
+  std::vector<Node> nodes;
+  uint32_t root = 0;
+  /// Serialized payload size of each data bucket, indexed by data id.
+  std::vector<uint32_t> data_sizes;
+};
+
+/// How the tree is interleaved with the data on air.
+enum class TreeLayout : uint8_t {
+  /// Distributed indexing [9]: the tree is cut at a distribution level;
+  /// each subtree airs once, preceded by a fresh copy of its root path.
+  kDistributed,
+  /// (1, m) indexing [9]: the *whole* index airs m times per cycle, each
+  /// copy followed by 1/m of the data. Simpler, but the duplicated index
+  /// stretches the cycle — the scheme the distributed index supersedes.
+  kOneM,
+};
+
+/// A finalized broadcast program for a tree plus the occurrence lookup
+/// tables clients use to doze toward the next copy of a bucket.
+class AirTreeBroadcast {
+ public:
+  /// \param target_subtrees For kDistributed: desired number of
+  /// non-replicated subtrees; the distribution level is the highest tree
+  /// level with at least this many nodes (clamped to the leaf level), and
+  /// 1 disables replication. For kOneM: the number of index copies m.
+  AirTreeBroadcast(AirTreeSpec spec, size_t packet_capacity,
+                   uint32_t target_subtrees = 16,
+                   TreeLayout layout = TreeLayout::kDistributed);
+
+  const AirTreeSpec& spec() const { return spec_; }
+  const BroadcastProgram& program() const { return program_; }
+  TreeLayout layout() const { return layout_; }
+  uint32_t distribution_level() const { return distribution_level_; }
+  uint32_t num_subtrees() const {
+    return static_cast<uint32_t>(subtree_roots_.size());
+  }
+
+  /// Slot of the occurrence of node \p node_id that starts soonest at or
+  /// after the session's current time.
+  size_t NextNodeSlot(uint32_t node_id, const ClientSession& session) const;
+
+  /// Slot of the (single) occurrence of data bucket \p data_id.
+  size_t DataSlot(uint32_t data_id) const;
+
+  /// All occurrence slots of a node (for tests/inspection).
+  const std::vector<size_t>& NodeSlots(uint32_t node_id) const {
+    return node_slots_[node_id];
+  }
+
+ private:
+  void BuildDistributed(uint32_t target_subtrees);
+  void BuildOneM(uint32_t copies);
+
+  AirTreeSpec spec_;
+  BroadcastProgram program_;
+  TreeLayout layout_ = TreeLayout::kDistributed;
+  uint32_t distribution_level_ = 0;
+  std::vector<uint32_t> subtree_roots_;
+  std::vector<std::vector<size_t>> node_slots_;  // by node id, sorted
+  std::vector<size_t> data_slot_;                // by data id
+};
+
+}  // namespace dsi::broadcast

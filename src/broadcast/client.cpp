@@ -1,0 +1,117 @@
+#include "broadcast/client.hpp"
+
+#include <cassert>
+
+namespace dsi::broadcast {
+
+ClientSession::ClientSession(const BroadcastProgram& program,
+                             uint64_t tune_in_packet, ErrorModel errors,
+                             common::Rng rng)
+    : program_(program),
+      tune_in_(tune_in_packet),
+      now_(tune_in_packet),
+      errors_(errors),
+      rng_(rng) {
+  assert(program_.finalized());
+  assert(program_.cycle_packets() > 0);
+  if (errors_.mode == ErrorMode::kSingleEvent &&
+      rng_.Bernoulli(errors_.theta)) {
+    event_armed_ = true;
+    event_packet_ =
+        tune_in_ + static_cast<uint64_t>(rng_.UniformInt(
+                       0, static_cast<int64_t>(program_.cycle_packets()) - 1));
+  }
+}
+
+void ClientSession::InitialProbe() {
+  assert(!probed_);
+  probed_ = true;
+  // Listen to the packet currently on air to learn where the next bucket
+  // starts (standard air-indexing assumption: every packet carries that
+  // offset in its header).
+  if (trace_ != nullptr) {
+    trace_->push_back(TraceEvent{TraceEvent::Kind::kProbe, now_, now_ + 1,
+                                 /*slot=*/0, /*lost=*/false});
+  }
+  Listen(1);
+  // Doze until the next bucket boundary.
+  const uint64_t cycle = program_.cycle_packets();
+  uint64_t pos = now_ % cycle;
+  size_t slot = program_.SlotStartingAtOrAfter(pos);
+  uint64_t start = program_.bucket(slot).start_packet;
+  uint64_t delta = (slot == 0 && start < pos) ? (cycle - pos) + start
+                                              : start - pos;
+  AdvanceTo(now_ + delta);
+  current_slot_ = slot;
+}
+
+uint64_t ClientSession::PacketsUntil(size_t slot) const {
+  assert(probed_);
+  const uint64_t cycle = program_.cycle_packets();
+  const uint64_t pos = now_ % cycle;
+  const uint64_t start = program_.bucket(slot).start_packet;
+  return start >= pos ? start - pos : cycle - pos + start;
+}
+
+void ClientSession::DozeTo(size_t slot) {
+  AdvanceTo(now_ + PacketsUntil(slot));
+  current_slot_ = slot;
+}
+
+bool ClientSession::ReadBucket(size_t slot) {
+  DozeTo(slot);
+  const Bucket& b = program_.bucket(slot);
+  const uint64_t listen_start = now_;
+  Listen(b.packets);
+  // Park on the next bucket boundary.
+  current_slot_ = (slot + 1) % program_.num_buckets();
+  bool lost = false;
+  switch (errors_.mode) {
+    case ErrorMode::kPerReadLoss:
+      lost = rng_.Bernoulli(errors_.theta);
+      break;
+    case ErrorMode::kSingleEvent:
+      // The error burst corrupts the first bucket the client listens to at
+      // or after the event instant (a burst while dozing damages whatever
+      // is read next once the receiver wakes into the degraded channel).
+      if (event_armed_ && event_packet_ < now_) {
+        lost = true;
+        event_armed_ = false;
+      }
+      break;
+  }
+  if (trace_ != nullptr) {
+    trace_->push_back(
+        TraceEvent{TraceEvent::Kind::kListen, listen_start, now_, slot, lost});
+  }
+  return !lost;
+}
+
+void ClientSession::SkipBucket() {
+  const Bucket& b = program_.bucket(current_slot_);
+  AdvanceTo(now_ + b.packets);
+  current_slot_ = (current_slot_ + 1) % program_.num_buckets();
+}
+
+Metrics ClientSession::metrics() const {
+  Metrics m;
+  m.access_latency_bytes = (now_ - tune_in_) * program_.packet_capacity();
+  m.tuning_bytes = listened_packets_ * program_.packet_capacity();
+  return m;
+}
+
+void ClientSession::AdvanceTo(uint64_t target_packet) {
+  assert(target_packet >= now_);
+  if (trace_ != nullptr && target_packet > now_) {
+    trace_->push_back(TraceEvent{TraceEvent::Kind::kDoze, now_, target_packet,
+                                 /*slot=*/0, /*lost=*/false});
+  }
+  now_ = target_packet;
+}
+
+void ClientSession::Listen(uint64_t packets) {
+  listened_packets_ += packets;
+  now_ += packets;
+}
+
+}  // namespace dsi::broadcast

@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file client.hpp
+/// \brief The mobile-client side of the broadcast channel: tune-in, doze,
+/// selective listening, link errors, and the two metrics of the paper
+/// (access latency and tuning time, both in bytes).
+///
+/// Query algorithms never touch server data structures directly; they drive
+/// a ClientSession, paying tuning time for every packet they listen to and
+/// access latency for every packet that goes by, exactly as a real client
+/// with an air index would.
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/program.hpp"
+#include "common/rng.hpp"
+
+namespace dsi::broadcast {
+
+/// The two evaluation metrics of the paper, in bytes.
+struct Metrics {
+  uint64_t access_latency_bytes = 0;  ///< Time from initial probe to done.
+  uint64_t tuning_bytes = 0;          ///< Bytes actively listened to.
+};
+
+/// How link errors (Section 5) are injected.
+enum class ErrorMode : uint8_t {
+  /// Every bucket read is independently lost with probability theta. A
+  /// harsher model than the paper's; exercises all recovery paths and is
+  /// the default in unit tests.
+  kPerReadLoss,
+  /// With probability theta the query experiences one link-error event: a
+  /// single corrupted packet at a uniformly random instant within the first
+  /// broadcast cycle after tune-in. This calibration reproduces the
+  /// magnitude regime of the paper's Table 1 (deteriorations of a few to a
+  /// few tens of percent even at theta = 0.7).
+  kSingleEvent,
+};
+
+/// Link-error injection parameters. theta = 0 is the lossless channel of
+/// Section 4; Section 5 sweeps theta in {0.2, 0.5, 0.7}.
+struct ErrorModel {
+  double theta = 0.0;
+  ErrorMode mode = ErrorMode::kPerReadLoss;
+};
+
+/// One radio-state episode of a client session, for traces/visualization.
+struct TraceEvent {
+  enum class Kind : uint8_t {
+    kProbe,   ///< The initial synchronization listen.
+    kDoze,    ///< Radio off, waiting for a bucket boundary.
+    kListen,  ///< Actively receiving a bucket.
+  };
+  Kind kind = Kind::kDoze;
+  uint64_t start_packet = 0;  ///< Global packet time, inclusive.
+  uint64_t end_packet = 0;    ///< Global packet time, exclusive.
+  size_t slot = 0;            ///< Bucket slot for kListen events.
+  bool lost = false;          ///< kListen only: corrupted by a link error.
+};
+
+/// One client's interaction with the periodically repeated program.
+///
+/// Time is a monotonically increasing global packet counter; the cycle
+/// position is time mod cycle length. The client is dozing except inside
+/// InitialProbe() and ReadBucket().
+class ClientSession {
+ public:
+  /// \param tune_in_packet Global packet index at which the client wakes up
+  ///        (typically uniform over the cycle in experiments).
+  ClientSession(const BroadcastProgram& program, uint64_t tune_in_packet,
+                ErrorModel errors, common::Rng rng);
+
+  /// Listens to one packet to synchronize with the channel (every packet
+  /// carries an offset to the next bucket boundary), then positions the
+  /// client at the start of the next bucket. Must be called first.
+  void InitialProbe();
+
+  /// Global packet counter.
+  uint64_t now_packets() const { return now_; }
+
+  /// Slot whose bucket starts exactly at the current time (valid after
+  /// InitialProbe: the session is always parked on a bucket boundary).
+  size_t current_slot() const { return current_slot_; }
+
+  /// Dozes until the next occurrence of \p slot (possibly now; wraps into
+  /// the next cycle when the bucket has already gone by), then listens to
+  /// all its packets.
+  /// \return true iff the bucket was received intact; on a link error the
+  /// tuning time and latency are still spent and the client is parked on
+  /// the next bucket boundary.
+  bool ReadBucket(size_t slot);
+
+  /// Reads the bucket starting right now.
+  bool ReadCurrentBucket() { return ReadBucket(current_slot_); }
+
+  /// Dozes past the bucket starting right now without listening.
+  void SkipBucket();
+
+  /// Dozes until the next occurrence of \p slot without listening to it.
+  void DozeTo(size_t slot);
+
+  /// Number of packets that would elapse dozing from now to the start of
+  /// the next occurrence of \p slot (0 if it starts right now).
+  uint64_t PacketsUntil(size_t slot) const;
+
+  /// Metrics so far; latency counts from the tune-in instant to now.
+  Metrics metrics() const;
+
+  /// Optional radio-state trace: when set, every probe/doze/listen episode
+  /// is appended to \p sink (doze episodes of zero length are skipped).
+  void set_trace(std::vector<TraceEvent>* sink) { trace_ = sink; }
+
+  const BroadcastProgram& program() const { return program_; }
+
+ private:
+  void AdvanceTo(uint64_t target_packet);  // doze, no tuning cost
+  void Listen(uint64_t packets);           // active listening
+
+  const BroadcastProgram& program_;
+  uint64_t tune_in_;
+  uint64_t now_;
+  uint64_t listened_packets_ = 0;
+  size_t current_slot_ = 0;
+  ErrorModel errors_;
+  common::Rng rng_;
+  bool probed_ = false;
+  bool event_armed_ = false;      // kSingleEvent: error not yet consumed
+  uint64_t event_packet_ = 0;     // kSingleEvent: global corrupted packet
+  std::vector<TraceEvent>* trace_ = nullptr;
+};
+
+}  // namespace dsi::broadcast

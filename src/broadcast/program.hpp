@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file program.hpp
+/// \brief The broadcast program: the fixed, periodically repeated sequence
+/// of buckets (index tables, tree nodes, data objects) a server pushes onto
+/// the wireless channel.
+///
+/// Model (Section 4 of the paper):
+///  * The atomic on-air unit is a packet of `packet_capacity` bytes.
+///  * A bucket occupies ceil(size_bytes / capacity) consecutive packets and
+///    always starts on a packet boundary (clients synchronize per packet).
+///  * The program repeats forever; global time is measured in packets and
+///    metrics are reported in bytes (packets x capacity).
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsi::broadcast {
+
+/// What a bucket carries; lets tests and traces introspect programs.
+enum class BucketKind : uint8_t {
+  kDsiFrameTable,   ///< One DSI index table (one packet by construction).
+  kIndexNode,       ///< A tree index node (R-tree or B+-tree).
+  kDataObject,      ///< One spatial data object (1024 bytes).
+};
+
+/// One bucket of the broadcast program.
+struct Bucket {
+  BucketKind kind = BucketKind::kDataObject;
+  uint32_t payload = 0;     ///< Id meaningful to the owning index structure.
+  uint32_t size_bytes = 0;  ///< Serialized size; on-air size rounds up.
+  uint64_t packets = 0;     ///< Derived: ceil(size_bytes / capacity).
+  uint64_t start_packet = 0;  ///< Derived: offset within the cycle.
+};
+
+/// An immutable-after-finalize broadcast cycle description.
+class BroadcastProgram {
+ public:
+  explicit BroadcastProgram(size_t packet_capacity)
+      : packet_capacity_(packet_capacity) {
+    assert(packet_capacity_ > 0);
+  }
+
+  /// Appends a bucket; returns its slot index within the cycle.
+  size_t AddBucket(BucketKind kind, uint32_t payload, uint32_t size_bytes) {
+    assert(!finalized_);
+    Bucket b;
+    b.kind = kind;
+    b.payload = payload;
+    b.size_bytes = size_bytes;
+    b.packets = (size_bytes + packet_capacity_ - 1) / packet_capacity_;
+    if (b.packets == 0) b.packets = 1;
+    buckets_.push_back(b);
+    return buckets_.size() - 1;
+  }
+
+  /// Computes packet offsets; no further AddBucket calls allowed.
+  void Finalize() {
+    uint64_t off = 0;
+    for (Bucket& b : buckets_) {
+      b.start_packet = off;
+      off += b.packets;
+    }
+    cycle_packets_ = off;
+    finalized_ = true;
+  }
+
+  bool finalized() const { return finalized_; }
+  size_t packet_capacity() const { return packet_capacity_; }
+  size_t num_buckets() const { return buckets_.size(); }
+  uint64_t cycle_packets() const { return cycle_packets_; }
+  uint64_t cycle_bytes() const { return cycle_packets_ * packet_capacity_; }
+
+  const Bucket& bucket(size_t slot) const {
+    assert(slot < buckets_.size());
+    return buckets_[slot];
+  }
+
+  /// Slot of the bucket covering the given cycle-relative packet offset.
+  size_t SlotAtPacket(uint64_t cycle_packet) const;
+
+  /// Slot of the first bucket starting at or after the given cycle-relative
+  /// packet (wraps to slot 0 past the end of the cycle).
+  size_t SlotStartingAtOrAfter(uint64_t cycle_packet) const;
+
+ private:
+  size_t packet_capacity_;
+  std::vector<Bucket> buckets_;
+  uint64_t cycle_packets_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace dsi::broadcast

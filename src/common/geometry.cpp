@@ -1,0 +1,15 @@
+#include "common/geometry.hpp"
+
+namespace dsi::common {
+
+Rect MakeClippedWindow(const Point& center, double side, const Rect& universe) {
+  const double half = side / 2.0;
+  Rect w{center.x - half, center.y - half, center.x + half, center.y + half};
+  w.min_x = std::max(w.min_x, universe.min_x);
+  w.min_y = std::max(w.min_y, universe.min_y);
+  w.max_x = std::min(w.max_x, universe.max_x);
+  w.max_y = std::min(w.max_y, universe.max_y);
+  return w;
+}
+
+}  // namespace dsi::common

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file rng.hpp
+/// \brief Deterministic random-number utilities.
+///
+/// Every stochastic component in the simulator (datasets, workloads, link
+/// errors, tune-in instants) draws from an explicitly seeded
+/// std::mt19937_64 so that every experiment in EXPERIMENTS.md is exactly
+/// reproducible.
+
+#include <cstdint>
+#include <random>
+
+namespace dsi::common {
+
+/// Thin wrapper around std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw: true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Derives an independent child generator; lets components own private
+  /// streams while the experiment is seeded once at the top.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dsi::common

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file sizes.hpp
+/// \brief On-air byte sizes of every serialized field, exactly as specified
+/// in Section 4 of the paper. All access-latency and tuning-time metrics are
+/// reported in bytes, so these constants define the experiment.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsi::common {
+
+/// One floating point coordinate component: 8 bytes ("two floating-point
+/// numbers (8 bytes each)").
+inline constexpr size_t kCoordinateComponentBytes = 8;
+
+/// A full 2-D coordinate (x, y).
+inline constexpr size_t kCoordinateBytes = 2 * kCoordinateComponentBytes;
+
+/// A Hilbert-curve value "is represented in the same total size (16 bytes)".
+inline constexpr size_t kHilbertValueBytes = 16;
+
+/// "For each pointer in the index table, 2 bytes are allocated." Pointers
+/// address packets/frames within a broadcast cycle.
+inline constexpr size_t kPointerBytes = 2;
+
+/// A data object payload: "The size of a data object is set to 1024 bytes."
+inline constexpr size_t kDataObjectBytes = 1024;
+
+/// One DSI or B+-tree (HCI) index entry: an HC value plus a pointer.
+inline constexpr size_t kHcIndexEntryBytes = kHilbertValueBytes + kPointerBytes;
+
+/// One R-tree index entry: an MBR (two coordinates) plus a pointer. The
+/// 34-byte entry is why the paper cannot build R-tree at 32-byte packets.
+inline constexpr size_t kRtreeEntryBytes = 2 * kCoordinateBytes + kPointerBytes;
+
+/// Default packet capacity used throughout the evaluation unless swept.
+inline constexpr size_t kDefaultPacketCapacityBytes = 64;
+
+}  // namespace dsi::common

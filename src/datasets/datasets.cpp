@@ -1,0 +1,131 @@
+#include "datasets/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsi::datasets {
+
+namespace {
+
+common::Point ClampToUniverse(common::Point p, const common::Rect& u) {
+  p.x = std::clamp(p.x, u.min_x, u.max_x);
+  p.y = std::clamp(p.y, u.min_y, u.max_y);
+  return p;
+}
+
+}  // namespace
+
+common::Rect UnitUniverse() { return common::Rect{0.0, 0.0, 1.0, 1.0}; }
+
+std::vector<SpatialObject> MakeUniform(size_t n, const common::Rect& universe,
+                                       uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<SpatialObject> objs;
+  objs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    objs.push_back(SpatialObject{
+        static_cast<uint32_t>(i),
+        common::Point{rng.Uniform(universe.min_x, universe.max_x),
+                      rng.Uniform(universe.min_y, universe.max_y)}});
+  }
+  return objs;
+}
+
+std::vector<SpatialObject> MakeUniformDefault(uint64_t seed) {
+  return MakeUniform(10000, UnitUniverse(), seed);
+}
+
+std::vector<SpatialObject> MakeClustered(size_t n, size_t num_clusters,
+                                         double spread,
+                                         double background_fraction,
+                                         const common::Rect& universe,
+                                         uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<common::Point> centers;
+  centers.reserve(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    centers.push_back(
+        common::Point{rng.Uniform(universe.min_x, universe.max_x),
+                      rng.Uniform(universe.min_y, universe.max_y)});
+  }
+  const double sx = spread * universe.Width();
+  const double sy = spread * universe.Height();
+  std::vector<SpatialObject> objs;
+  objs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    common::Point p;
+    if (rng.Bernoulli(background_fraction) || centers.empty()) {
+      p = common::Point{rng.Uniform(universe.min_x, universe.max_x),
+                        rng.Uniform(universe.min_y, universe.max_y)};
+    } else {
+      const auto c = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(centers.size()) - 1));
+      p = ClampToUniverse(common::Point{rng.Gaussian(centers[c].x, sx),
+                                        rng.Gaussian(centers[c].y, sy)},
+                          universe);
+    }
+    objs.push_back(SpatialObject{static_cast<uint32_t>(i), p});
+  }
+  return objs;
+}
+
+std::vector<SpatialObject> MakeRealLike(uint64_t seed) {
+  // 5848 points: ~55 town clusters strung along three circular arcs
+  // (coastline-like skew) plus ~12% sparse inland background.
+  constexpr size_t kN = 5848;
+  constexpr size_t kClusters = 55;
+  const common::Rect universe = UnitUniverse();
+  common::Rng rng(seed);
+
+  struct Arc {
+    common::Point center;
+    double radius;
+    double from;   // radians
+    double to;     // radians
+    double share;  // fraction of clusters on this arc
+  };
+  const Arc arcs[] = {
+      {{0.35, 0.55}, 0.30, 0.0, 2.0 * M_PI, 0.45},
+      {{0.70, 0.30}, 0.22, 0.5, 4.5, 0.35},
+      {{0.25, 0.20}, 0.15, 1.0, 5.5, 0.20},
+  };
+
+  std::vector<common::Point> centers;
+  centers.reserve(kClusters);
+  for (const Arc& arc : arcs) {
+    const auto k = static_cast<size_t>(std::round(arc.share * kClusters));
+    for (size_t i = 0; i < k && centers.size() < kClusters; ++i) {
+      const double t = rng.Uniform(arc.from, arc.to);
+      const double r = arc.radius * (1.0 + rng.Gaussian(0.0, 0.08));
+      centers.push_back(ClampToUniverse(
+          common::Point{arc.center.x + r * std::cos(t),
+                        arc.center.y + r * std::sin(t)},
+          universe));
+    }
+  }
+  while (centers.size() < kClusters) {
+    centers.push_back(common::Point{rng.Uniform(0.0, 1.0),
+                                    rng.Uniform(0.0, 1.0)});
+  }
+
+  std::vector<SpatialObject> objs;
+  objs.reserve(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    common::Point p;
+    if (rng.Bernoulli(0.12)) {
+      p = common::Point{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)};
+    } else {
+      const auto c = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(centers.size()) - 1));
+      // Town-sized spread: dense cores with occasional outskirts.
+      const double s = rng.Bernoulli(0.2) ? 0.035 : 0.012;
+      p = ClampToUniverse(common::Point{rng.Gaussian(centers[c].x, s),
+                                        rng.Gaussian(centers[c].y, s)},
+                          universe);
+    }
+    objs.push_back(SpatialObject{static_cast<uint32_t>(i), p});
+  }
+  return objs;
+}
+
+}  // namespace dsi::datasets

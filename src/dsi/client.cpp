@@ -1,0 +1,414 @@
+#include "dsi/client.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dsi::core {
+
+namespace {
+
+/// Watchdog: abort queries that fail to finish within this many broadcast
+/// cycles (only reachable under extreme link-error rates).
+constexpr uint64_t kWatchdogCycles = 200;
+
+/// Aggressive kNN falls back to the conservative hop rule after this many
+/// cycles so skipped ranges are eventually swept deterministically (the
+/// paper's running example finishes in ~1.5 cycles).
+constexpr uint64_t kAggressiveFallbackCycles = 2;
+
+}  // namespace
+
+DsiClient::DsiClient(const DsiIndex& index, broadcast::ClientSession* session)
+    : index_(index),
+      session_(session),
+      layout_(index.num_frames(), index.config().num_segments),
+      hc_cells_(index.mapper().curve().num_cells()),
+      known_(layout_.m) {}
+
+// ---------------------------------------------------------------------------
+// Public queries
+// ---------------------------------------------------------------------------
+
+std::vector<datasets::SpatialObject> DsiClient::PointQuery(
+    const common::Point& p) {
+  const uint64_t h = index_.mapper().PointToIndex(p);
+  const std::vector<hilbert::HcRange> targets{hilbert::HcRange{h, h}};
+  RunSearch([&] { return targets; }, nullptr);
+  std::vector<datasets::SpatialObject> out;
+  for (const auto& [rank, obj] : retrieved_) {
+    if (index_.mapper().PointToIndex(obj.location) == h) out.push_back(obj);
+  }
+  return out;
+}
+
+std::vector<datasets::SpatialObject> DsiClient::WindowQuery(
+    const common::Rect& window) {
+  const std::vector<hilbert::HcRange> targets =
+      index_.mapper().WindowToRanges(window);
+  RunSearch([&] { return targets; }, nullptr);
+  std::vector<datasets::SpatialObject> out;
+  for (const auto& [rank, obj] : retrieved_) {
+    if (window.Contains(obj.location)) out.push_back(obj);
+  }
+  return out;
+}
+
+std::vector<datasets::SpatialObject> DsiClient::KnnQuery(
+    const common::Point& q, size_t k, KnnStrategy strategy) {
+  assert(k > 0);
+  const auto& mapper = index_.mapper();
+
+  // Current search radius: k-th smallest upper-bound distance over exact
+  // (retrieved) and advertised (index-table) candidates.
+  auto radius_upper_bound = [&]() -> double {
+    std::vector<double> uppers;
+    uppers.reserve(retrieved_.size() + 16);
+    for (const auto& [rank, obj] : retrieved_) {
+      uppers.push_back(common::Distance(q, obj.location));
+    }
+    for (const auto& seg_known : known_) {
+      for (const auto& [off, hc] : seg_known) {
+        // Skip advertisements already superseded by exact retrievals.
+        if (covered_.Covers(hilbert::HcRange{hc, hc})) continue;
+        uppers.push_back(mapper.MaxDistanceToIndex(q, hc));
+      }
+    }
+    if (uppers.size() < k) return std::numeric_limits<double>::infinity();
+    std::nth_element(uppers.begin(), uppers.begin() + (k - 1), uppers.end());
+    return uppers[k - 1];
+  };
+
+  auto recompute = [&]() -> std::vector<hilbert::HcRange> {
+    const double r = radius_upper_bound();
+    if (std::isinf(r)) {
+      return {hilbert::HcRange{0, hc_cells_ - 1}};
+    }
+    return mapper.CircleToRanges(q, r);
+  };
+
+  RunSearch(recompute,
+            strategy == KnnStrategy::kAggressive ? &q : nullptr);
+
+  // Answer: the k nearest retrieved objects.
+  std::vector<datasets::SpatialObject> out;
+  out.reserve(retrieved_.size());
+  for (const auto& [rank, obj] : retrieved_) out.push_back(obj);
+  std::sort(out.begin(), out.end(),
+            [&](const datasets::SpatialObject& a,
+                const datasets::SpatialObject& b) {
+              const double da = common::SquaredDistance(q, a.location);
+              const double db = common::SquaredDistance(q, b.location);
+              return da != db ? da < db : a.id < b.id;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Search driver
+// ---------------------------------------------------------------------------
+
+void DsiClient::RunSearch(
+    const std::function<std::vector<hilbert::HcRange>()>& recompute_targets,
+    const common::Point* spatial_goal) {
+  session_->InitialProbe();
+  deadline_packets_ = session_->now_packets() +
+                      kWatchdogCycles * index_.program().cycle_packets();
+  const uint64_t aggressive_deadline =
+      session_->now_packets() +
+      kAggressiveFallbackCycles * index_.program().cycle_packets();
+
+  std::optional<DsiTableView> table = ReadNextTable();
+  if (!table) {
+    stats_.completed = false;
+    return;
+  }
+
+  while (true) {
+    std::vector<hilbert::HcRange> pending =
+        covered_.Subtract(recompute_targets());
+    if (pending.empty()) return;
+
+    if (FrameMayIntersect(table->position, pending)) {
+      ReadFrameObjects(table->position, table->own_hc_min);
+      pending = covered_.Subtract(recompute_targets());
+      if (pending.empty()) return;
+    }
+
+    if (WatchdogExpired()) {
+      stats_.completed = false;
+      return;
+    }
+
+    const bool aggressive =
+        spatial_goal != nullptr &&
+        session_->now_packets() < aggressive_deadline;
+    const uint32_t next_pos =
+        aggressive ? SelectAggressiveHop(*table, pending, *spatial_goal)
+                   : SelectConservativeHop(*table, pending);
+    ++stats_.hops;
+    table = ReadTableAt(next_pos);
+    if (!table) {
+      stats_.completed = false;
+      return;
+    }
+  }
+}
+
+bool DsiClient::WatchdogExpired() const {
+  return session_->now_packets() >= deadline_packets_;
+}
+
+// ---------------------------------------------------------------------------
+// On-air reads
+// ---------------------------------------------------------------------------
+
+std::optional<DsiTableView> DsiClient::ReadNextTable() {
+  const auto& program = index_.program();
+  const size_t nb = program.num_buckets();
+  while (!WatchdogExpired()) {
+    // Find the next table bucket at or after the session's position. The
+    // scan is structural: every on-air packet carries the offset to the
+    // next index table in its header.
+    size_t slot = session_->current_slot();
+    size_t guard = 0;
+    while (program.bucket(slot).kind != broadcast::BucketKind::kDsiFrameTable) {
+      slot = (slot + 1) % nb;
+      if (++guard > nb) return std::nullopt;  // no table in program
+    }
+    if (session_->ReadBucket(slot)) {
+      ++stats_.tables_read;
+      DsiTableView view = index_.TableAt(program.bucket(slot).payload);
+      Learn(view);
+      return view;
+    }
+    ++stats_.buckets_lost;
+    // Link error: resume from the next frame's table (fully distributed
+    // recovery, Section 5).
+  }
+  return std::nullopt;
+}
+
+std::optional<DsiTableView> DsiClient::ReadTableAt(uint32_t position) {
+  if (session_->ReadBucket(index_.TableSlot(position))) {
+    ++stats_.tables_read;
+    DsiTableView view = index_.TableAt(position);
+    Learn(view);
+    return view;
+  }
+  ++stats_.buckets_lost;
+  return ReadNextTable();
+}
+
+void DsiClient::ReadFrameObjects(uint32_t position, uint64_t own_hc) {
+  const DsiIndex::FrameObjects fo = index_.ObjectsAt(position);
+  const auto& mapper = index_.mapper();
+  bool all_present = true;
+  uint64_t max_hc = own_hc;
+  for (uint32_t i = 0; i < fo.count; ++i) {
+    const uint32_t rank = fo.first_rank + i;
+    auto it = retrieved_.find(rank);
+    if (it == retrieved_.end()) {
+      if (session_->ReadBucket(fo.first_slot + i)) {
+        const datasets::SpatialObject& obj = index_.sorted_objects()[rank];
+        it = retrieved_.emplace(rank, obj).first;
+        ++stats_.objects_read;
+      } else {
+        ++stats_.buckets_lost;
+        all_present = false;
+        continue;
+      }
+    }
+    max_hc = std::max(max_hc, mapper.PointToIndex(it->second.location));
+  }
+  if (!all_present) return;  // span unconfirmed; revisited next cycle
+
+  // Confirm the frame's HC span. Frames never split equal-HC runs, so all
+  // dataset objects with HC in [own_hc, max_hc] live in this frame; if the
+  // next frame boundary is known the whole [own_hc, next) span is confirmed.
+  const uint32_t seg = layout_.SegmentOfPosition(position);
+  const uint32_t off = layout_.OffsetOfPosition(position);
+  if (const std::optional<uint64_t> next = NextFrameHcExcl(seg, off)) {
+    assert(*next > own_hc);
+    covered_.Add(hilbert::HcRange{own_hc, *next - 1});
+  } else {
+    covered_.Add(hilbert::HcRange{own_hc, max_hc});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Knowledge
+// ---------------------------------------------------------------------------
+
+void DsiClient::Learn(const DsiTableView& table) {
+  if (!heads_known_) {
+    heads_known_ = true;  // every table carries the segment head HC values
+    // The head of segment 0 is the global minimum HC value: no object can
+    // have a smaller one, so that prefix of the HC space is vacuously
+    // covered.
+    const uint64_t head0 = index_.segment_head_hcs().front();
+    if (head0 > 0) covered_.Add(hilbert::HcRange{0, head0 - 1});
+  }
+  auto record = [&](uint32_t pos, uint64_t hc) {
+    known_[layout_.SegmentOfPosition(pos)][layout_.OffsetOfPosition(pos)] = hc;
+  };
+  record(table.position, table.own_hc_min);
+  for (const DsiTableEntry& e : table.entries) record(e.position, e.hc_min);
+}
+
+uint64_t DsiClient::SegmentDomainLo(uint32_t seg) const {
+  assert(heads_known_);
+  return index_.segment_head_hcs()[seg];
+}
+
+uint64_t DsiClient::SegmentDomainHiExcl(uint32_t seg) const {
+  assert(heads_known_);
+  return seg + 1 < layout_.m ? index_.segment_head_hcs()[seg + 1] : hc_cells_;
+}
+
+uint64_t DsiClient::LowerBoundHc(uint32_t seg, uint32_t off) const {
+  const auto& m = known_[seg];
+  auto it = m.upper_bound(off);
+  if (it == m.begin()) return SegmentDomainLo(seg);
+  return std::prev(it)->second;
+}
+
+uint64_t DsiClient::UpperBoundHcExcl(uint32_t seg, uint32_t off) const {
+  const auto& m = known_[seg];
+  auto it = m.upper_bound(off);
+  if (it == m.end()) return SegmentDomainHiExcl(seg);
+  return it->second;
+}
+
+std::optional<uint64_t> DsiClient::NextFrameHcExcl(uint32_t seg,
+                                                   uint32_t off) const {
+  if (off + 1 >= layout_.SegmentLength(seg)) return SegmentDomainHiExcl(seg);
+  const auto& m = known_[seg];
+  auto it = m.find(off + 1);
+  if (it == m.end()) return std::nullopt;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Relevance reasoning
+// ---------------------------------------------------------------------------
+
+bool DsiClient::RangesIntersect(const std::vector<hilbert::HcRange>& pending,
+                                uint64_t lo, uint64_t hi_excl) const {
+  if (lo >= hi_excl) return false;
+  const uint64_t hi = hi_excl - 1;
+  auto it = std::lower_bound(
+      pending.begin(), pending.end(), lo,
+      [](const hilbert::HcRange& r, uint64_t v) { return r.hi < v; });
+  return it != pending.end() && it->lo <= hi;
+}
+
+bool DsiClient::FrameMayIntersect(
+    uint32_t position, const std::vector<hilbert::HcRange>& pending) const {
+  const uint32_t seg = layout_.SegmentOfPosition(position);
+  const uint32_t off = layout_.OffsetOfPosition(position);
+  const uint64_t lo = LowerBoundHc(seg, off);
+  const uint64_t hi_excl = UpperBoundHcExcl(seg, off);
+  return RangesIntersect(pending, lo, hi_excl);
+}
+
+bool DsiClient::GapMayIntersect(
+    uint32_t from_pos, uint32_t to_pos,
+    const std::vector<hilbert::HcRange>& pending) const {
+  const uint32_t n = layout_.num_frames;
+  const uint32_t gap = (to_pos + n - from_pos) % n;
+  if (gap <= 1) return false;  // empty gap
+
+  // Positions strictly between, as one or two linear windows.
+  const uint32_t lo = (from_pos + 1) % n;
+  const uint32_t hi = (to_pos + n - 1) % n;
+  struct Window {
+    uint32_t a, b;
+  };
+  Window windows[2];
+  int nw = 0;
+  if (lo <= hi) {
+    windows[nw++] = {lo, hi};
+  } else {
+    windows[nw++] = {lo, n - 1};
+    windows[nw++] = {0, hi};
+  }
+
+  for (int w = 0; w < nw; ++w) {
+    const uint32_t a = windows[w].a;
+    const uint32_t b = windows[w].b;
+    for (uint32_t s = 0; s < layout_.m; ++s) {
+      // Full-round positions of segment s are o*m + s for o in [0, base).
+      if (layout_.base > 0) {
+        const uint32_t o_lo = a <= s ? 0 : (a - s + layout_.m - 1) / layout_.m;
+        const uint32_t o_hi_raw = b < s ? 0 : (b - s) / layout_.m;
+        const bool has = b >= s && o_lo <= o_hi_raw && o_lo < layout_.base;
+        if (has) {
+          const uint32_t o_hi = std::min(o_hi_raw, layout_.base - 1);
+          if (o_lo <= o_hi &&
+              RangesIntersect(pending, LowerBoundHc(s, o_lo),
+                              UpperBoundHcExcl(s, o_hi))) {
+            return true;
+          }
+        }
+      }
+      // Tail round: position base*m + s exists iff s < extra.
+      if (s < layout_.extra) {
+        const uint32_t pt = layout_.base * layout_.m + s;
+        if (a <= pt && pt <= b &&
+            RangesIntersect(pending, LowerBoundHc(s, layout_.base),
+                            UpperBoundHcExcl(s, layout_.base))) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Navigation
+// ---------------------------------------------------------------------------
+
+uint32_t DsiClient::SelectConservativeHop(
+    const DsiTableView& table,
+    const std::vector<hilbert::HcRange>& pending) const {
+  assert(!table.entries.empty());
+  // Farthest entry whose skipped gap provably cannot hold pending targets.
+  for (auto it = table.entries.rbegin(); it != table.entries.rend(); ++it) {
+    if (!GapMayIntersect(table.position, it->position, pending)) {
+      return it->position;
+    }
+  }
+  // Entry 0 always qualifies (empty gap); defensive fallback.
+  return table.entries.front().position;
+}
+
+uint32_t DsiClient::SelectAggressiveHop(
+    const DsiTableView& table, const std::vector<hilbert::HcRange>& pending,
+    const common::Point& q) const {
+  assert(!table.entries.empty());
+  // Paper rule: follow the entry pointing to the frame closest to the query
+  // point (fast search-space convergence; skipped ranges wrap to the next
+  // cycle). Only frames that may still matter qualify — once the local
+  // region is resolved the search degenerates to the conservative sweep
+  // ("sequentially retrieving all the data objects located within the
+  // search space", Section 3.4). Ties prefer the farther reach.
+  double best = std::numeric_limits<double>::infinity();
+  uint32_t best_pos = table.entries.front().position;
+  bool found = false;
+  for (auto it = table.entries.rbegin(); it != table.entries.rend(); ++it) {
+    if (!FrameMayIntersect(it->position, pending)) continue;
+    const double d = index_.mapper().MinDistanceToIndex(q, it->hc_min);
+    if (d < best) {
+      best = d;
+      best_pos = it->position;
+      found = true;
+    }
+  }
+  return found ? best_pos : SelectConservativeHop(table, pending);
+}
+
+}  // namespace dsi::core

@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file client.hpp
+/// \brief Client-side DSI query processing (Sections 3.2 - 3.5).
+///
+/// A DsiClient drives a broadcast::ClientSession: every piece of index or
+/// object information it uses is paid for by listening to the corresponding
+/// bucket. The implementation generalizes the paper's algorithms so one
+/// machinery handles the original (m = 1) and reorganized (m >= 2)
+/// broadcasts:
+///
+///  * Knowledge: (broadcast position -> min-HC) pairs learned from received
+///    index tables, kept per segment; within a segment HC grows with
+///    position, so knowledge brackets the HC content of unvisited frames.
+///  * Targets: the pending HC ranges the query must still confirm (window
+///    target segments, or the ranges under the current kNN search circle).
+///  * Coverage: once a frame's objects are all retrieved and the next frame
+///    boundary is known, its HC span is confirmed and removed from targets.
+///  * Navigation: energy-efficient forwarding (EEF) emerges from the hop
+///    rule "follow the farthest table entry whose skipped gap provably
+///    cannot intersect the pending targets"; the aggressive kNN strategy
+///    instead hops to the advertised frame spatially closest to the query
+///    point, accepting next-cycle revisits (Section 3.4).
+///
+/// Link errors: a lost table is recovered by reading the next frame's table
+/// (the fully distributed structure at work); a lost object bucket simply
+/// leaves its frame's span unconfirmed, so the loop revisits it next cycle.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "broadcast/client.hpp"
+#include "common/geometry.hpp"
+#include "dsi/index.hpp"
+#include "dsi/layout.hpp"
+#include "hilbert/interval_set.hpp"
+
+namespace dsi::core {
+
+/// kNN search-space strategies of Section 3.4.
+enum class KnnStrategy {
+  kConservative,  ///< Visit every frame that may hold a candidate.
+  kAggressive,    ///< Hop toward the query point; revisit skipped ranges.
+};
+
+/// Per-query diagnostics (metrics proper come from the ClientSession).
+struct QueryStats {
+  uint64_t tables_read = 0;
+  uint64_t objects_read = 0;
+  uint64_t buckets_lost = 0;
+  uint64_t hops = 0;
+  bool completed = true;  ///< False if the watchdog aborted the query.
+};
+
+/// One query execution against a DSI broadcast.
+class DsiClient {
+ public:
+  /// \param session A fresh session (InitialProbe not yet called); the
+  /// client performs the probe itself. One DsiClient runs one query.
+  DsiClient(const DsiIndex& index, broadcast::ClientSession* session);
+
+  /// Point query via EEF: all objects whose HC value equals that of the
+  /// cell containing \p p and whose location equals... is within the cell.
+  /// Returns the objects mapped to that cell.
+  std::vector<datasets::SpatialObject> PointQuery(const common::Point& p);
+
+  /// Window query (Algorithm 1): all objects inside \p window.
+  std::vector<datasets::SpatialObject> WindowQuery(const common::Rect& window);
+
+  /// kNN query (Algorithm 2 / Section 3.4).
+  std::vector<datasets::SpatialObject> KnnQuery(
+      const common::Point& q, size_t k,
+      KnnStrategy strategy = KnnStrategy::kConservative);
+
+  const QueryStats& stats() const { return stats_; }
+
+ private:
+  // --- on-air reads -------------------------------------------------------
+  /// Dozes to the next table at/after the session's current slot, reads it
+  /// (skipping ahead frame by frame past link errors), learns its content.
+  /// Returns nullopt only if the watchdog expires.
+  std::optional<DsiTableView> ReadNextTable();
+  /// Dozes to the table of \p position and reads it (with loss recovery,
+  /// which may return a *different*, later table).
+  std::optional<DsiTableView> ReadTableAt(uint32_t position);
+  /// Reads all object buckets of the frame at \p position (whose table was
+  /// just read, own min-HC \p own_hc); records retrieved objects and
+  /// confirms coverage when complete.
+  void ReadFrameObjects(uint32_t position, uint64_t own_hc);
+
+  // --- knowledge ----------------------------------------------------------
+  void Learn(const DsiTableView& table);
+  uint64_t SegmentDomainLo(uint32_t seg) const;
+  uint64_t SegmentDomainHiExcl(uint32_t seg) const;
+  /// Largest known min-HC at offset <= off in segment (domain lo if none).
+  uint64_t LowerBoundHc(uint32_t seg, uint32_t off) const;
+  /// Smallest known min-HC at offset > off in segment (domain hi if none).
+  uint64_t UpperBoundHcExcl(uint32_t seg, uint32_t off) const;
+  /// Exact min-HC of the next frame in the segment, if known (domain hi
+  /// when \p off is the segment's last frame).
+  std::optional<uint64_t> NextFrameHcExcl(uint32_t seg, uint32_t off) const;
+
+  // --- relevance reasoning -------------------------------------------------
+  bool RangesIntersect(const std::vector<hilbert::HcRange>& pending,
+                       uint64_t lo, uint64_t hi_excl) const;
+  /// May the frame at \p position hold objects in \p pending?
+  bool FrameMayIntersect(uint32_t position,
+                         const std::vector<hilbert::HcRange>& pending) const;
+  /// May any frame at a position strictly inside the cyclic gap
+  /// (\p from_pos, \p to_pos) hold objects in \p pending?
+  bool GapMayIntersect(uint32_t from_pos, uint32_t to_pos,
+                       const std::vector<hilbert::HcRange>& pending) const;
+
+  // --- navigation ----------------------------------------------------------
+  /// Farthest entry whose skipped gap provably misses \p pending.
+  uint32_t SelectConservativeHop(
+      const DsiTableView& table,
+      const std::vector<hilbert::HcRange>& pending) const;
+  /// Entry whose advertised frame is spatially closest to \p q among those
+  /// not already covered; falls back to the conservative rule.
+  uint32_t SelectAggressiveHop(const DsiTableView& table,
+                               const std::vector<hilbert::HcRange>& pending,
+                               const common::Point& q) const;
+
+  /// Shared driver: runs the pending-targets loop until no targets remain.
+  /// \p recompute_targets is invoked after every learning step to produce
+  /// the current target ranges (static for window queries, circle-derived
+  /// for kNN); aggressive kNN passes \p spatial_goal.
+  void RunSearch(
+      const std::function<std::vector<hilbert::HcRange>()>& recompute_targets,
+      const common::Point* spatial_goal);
+
+  bool WatchdogExpired() const;
+
+  const DsiIndex& index_;
+  broadcast::ClientSession* session_;
+  ReorgLayout layout_;
+  uint64_t hc_cells_;  // total number of HC values (domain size)
+
+  // Learned knowledge: per segment, offset -> min-HC of that frame.
+  std::vector<std::map<uint32_t, uint64_t>> known_;
+  bool heads_known_ = false;
+
+  hilbert::IntervalSet covered_;
+  std::map<uint32_t, datasets::SpatialObject> retrieved_;  // by object rank
+  QueryStats stats_;
+  uint64_t deadline_packets_ = 0;
+};
+
+}  // namespace dsi::core

@@ -1,0 +1,179 @@
+#include "dsi/index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "dsi/layout.hpp"
+
+namespace dsi::core {
+
+DsiIndex::DsiIndex(std::vector<datasets::SpatialObject> objects,
+                   const hilbert::SpaceMapper& mapper, size_t packet_capacity,
+                   const DsiConfig& config)
+    : config_(config),
+      mapper_(mapper),
+      objects_(std::move(objects)),
+      program_(packet_capacity) {
+  assert(!objects_.empty());
+  assert(config_.index_base >= 2);
+  const auto n = static_cast<uint32_t>(objects_.size());
+
+  // Sort objects by Hilbert value (ties broken by id for determinism).
+  std::vector<uint64_t> hcs(n);
+  std::sort(objects_.begin(), objects_.end(),
+            [&](const datasets::SpatialObject& a,
+                const datasets::SpatialObject& b) {
+              const uint64_t ha = mapper_.PointToIndex(a.location);
+              const uint64_t hb = mapper_.PointToIndex(b.location);
+              return ha != hb ? ha < hb : a.id < b.id;
+            });
+  object_hcs_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    object_hcs_[i] = mapper_.PointToIndex(objects_[i].location);
+  }
+
+  // Serialized HC width in tables: packed cell index by default (2*order
+  // bits), or an explicit override (16 = the paper's literal field size).
+  table_hc_bytes_ =
+      config_.table_hc_bytes != 0
+          ? config_.table_hc_bytes
+          : std::max<uint32_t>(
+                1, (static_cast<uint32_t>(mapper_.curve().order()) + 3) / 4);
+  const uint32_t entry_bytes = table_hc_bytes_ + common::kPointerBytes;
+
+  // Object factor. object_factor == 0 selects the paper's packet-driven
+  // derivation (one packet per table => nF = r^(entries that fit)).
+  if (config_.object_factor == 0) {
+    const auto cap = static_cast<uint32_t>(packet_capacity);
+    const uint32_t usable = cap > table_hc_bytes_ ? cap - table_hc_bytes_ : 0;
+    const uint32_t fit = std::max<uint32_t>(1, usable / entry_bytes);
+    uint64_t frames = 1;
+    for (uint32_t i = 0; i < fit && frames < n; ++i) {
+      frames *= config_.index_base;
+    }
+    object_factor_ = static_cast<uint32_t>(
+        (n + frames - 1) / frames);
+  } else {
+    object_factor_ = config_.object_factor;
+  }
+
+  // Frame formation: nominal object_factor objects per frame, but a run of
+  // equal HC values is never split across frames. This keeps frame min-HCs
+  // strictly increasing, which clients rely on to confirm coverage of HC
+  // ranges (see client.cpp).
+  frame_first_rank_.clear();
+  {
+    uint32_t start = 0;
+    while (start < n) {
+      frame_first_rank_.push_back(start);
+      uint32_t end = std::min(n, start + object_factor_);
+      while (end < n && object_hcs_[end] == object_hcs_[end - 1]) ++end;
+      start = end;
+    }
+    frame_first_rank_.push_back(n);
+  }
+  num_frames_ = static_cast<uint32_t>(frame_first_rank_.size() - 1);
+
+  frame_min_hc_.resize(num_frames_);
+  for (uint32_t f = 0; f < num_frames_; ++f) {
+    frame_min_hc_[f] = object_hcs_[frame_first_rank_[f]];
+    assert(f == 0 || frame_min_hc_[f] > frame_min_hc_[f - 1]);
+  }
+
+  // Entries per table: all i with r^i < nF (full-cycle exponential cover).
+  entries_per_table_ = 0;
+  for (uint64_t reach = 1; reach < num_frames_;
+       reach *= config_.index_base) {
+    ++entries_per_table_;
+  }
+
+  // Broadcast reorganization (Section 3.5): round-robin interleave of m
+  // balanced segments of the HC-sorted frame sequence. ReorgLayout is the
+  // structural single source of truth shared with clients.
+  const ReorgLayout layout(num_frames_, config_.num_segments);
+  const uint32_t m = layout.m;
+  segment_length_ = layout.base + (layout.extra != 0 ? 1 : 0);
+  rank_to_position_.assign(num_frames_, 0);
+  position_to_rank_.assign(num_frames_, 0);
+  for (uint32_t rank = 0; rank < num_frames_; ++rank) {
+    const uint32_t pos = layout.RankToPosition(rank);
+    rank_to_position_[rank] = pos;
+    position_to_rank_[pos] = rank;
+  }
+
+  segment_head_hcs_.reserve(m);
+  for (uint32_t s = 0; s < m; ++s) {
+    segment_head_hcs_.push_back(frame_min_hc_[layout.SegmentStartRank(s)]);
+  }
+
+  // Table byte size: own min-HC + (for reorganized broadcasts) the m
+  // segment-head HC values + the exponential entries.
+  table_bytes_ = table_hc_bytes_ + (m > 1 ? m * table_hc_bytes_ : 0) +
+                 entries_per_table_ * entry_bytes;
+
+  // Emit the program: per position, one table bucket then the frame's
+  // object buckets.
+  table_slot_.resize(num_frames_);
+  first_object_slot_.resize(num_frames_);
+  for (uint32_t pos = 0; pos < num_frames_; ++pos) {
+    const uint32_t rank = position_to_rank_[pos];
+    table_slot_[pos] = program_.AddBucket(
+        broadcast::BucketKind::kDsiFrameTable, pos, table_bytes_);
+    first_object_slot_[pos] = program_.num_buckets();
+    for (uint32_t i = frame_first_rank_[rank]; i < frame_first_rank_[rank + 1];
+         ++i) {
+      program_.AddBucket(broadcast::BucketKind::kDataObject, i,
+                         common::kDataObjectBytes);
+    }
+  }
+  program_.Finalize();
+}
+
+uint32_t DsiIndex::FrameRankToPosition(uint32_t rank) const {
+  assert(rank < num_frames_);
+  return rank_to_position_[rank];
+}
+
+uint32_t DsiIndex::PositionToFrameRank(uint32_t position) const {
+  assert(position < num_frames_);
+  return position_to_rank_[position];
+}
+
+uint64_t DsiIndex::FrameMinHcAtPosition(uint32_t position) const {
+  return frame_min_hc_[PositionToFrameRank(position)];
+}
+
+DsiTableView DsiIndex::TableAt(uint32_t position) const {
+  assert(position < num_frames_);
+  DsiTableView view;
+  view.position = position;
+  view.own_hc_min = FrameMinHcAtPosition(position);
+  view.entries.reserve(entries_per_table_);
+  uint64_t reach = 1;
+  for (uint32_t i = 0; i < entries_per_table_; ++i) {
+    const uint32_t target = static_cast<uint32_t>(
+        (position + reach) % num_frames_);
+    view.entries.push_back(DsiTableEntry{FrameMinHcAtPosition(target),
+                                         target});
+    reach *= config_.index_base;
+  }
+  return view;
+}
+
+size_t DsiIndex::TableSlot(uint32_t position) const {
+  assert(position < num_frames_);
+  return table_slot_[position];
+}
+
+DsiIndex::FrameObjects DsiIndex::ObjectsAt(uint32_t position) const {
+  assert(position < num_frames_);
+  const uint32_t rank = position_to_rank_[position];
+  FrameObjects fo;
+  fo.first_slot = first_object_slot_[position];
+  fo.first_rank = frame_first_rank_[rank];
+  fo.count = frame_first_rank_[rank + 1] - frame_first_rank_[rank];
+  return fo;
+}
+
+}  // namespace dsi::core

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file layout.hpp
+/// \brief Structural description of the (possibly reorganized) DSI broadcast
+/// schedule: the pure function of (num_frames, num_segments) that maps frame
+/// ranks (HC order) to broadcast positions and back.
+///
+/// This mapping carries no data knowledge — both the server (to lay out the
+/// cycle) and the clients (to reason about which broadcast positions belong
+/// to which segment) may use it. What clients must *learn from the air* is
+/// which HC values live at which positions; that is never exposed here.
+
+#include <cassert>
+#include <cstdint>
+
+namespace dsi::core {
+
+/// Round-robin interleave of m balanced segments (Section 3.5, Figure 7).
+/// Segment s owns frame ranks [start(s), start(s+1)); the first
+/// (num_frames mod m) segments have one extra frame. Broadcast positions
+/// cycle through segments: offset o of segment s airs at position o*m + s
+/// while all segments are live, and the tail offsets of the longer
+/// segments air last.
+struct ReorgLayout {
+  uint32_t num_frames = 0;
+  uint32_t m = 1;      ///< Number of segments (>= 1, <= num_frames).
+  uint32_t base = 0;   ///< num_frames / m.
+  uint32_t extra = 0;  ///< num_frames % m (segments with one extra frame).
+
+  ReorgLayout(uint32_t frames, uint32_t segments)
+      : num_frames(frames),
+        m(segments == 0 ? 1 : (segments > frames ? frames : segments)),
+        base(frames / m),
+        extra(frames % m) {
+    assert(frames > 0);
+  }
+
+  /// Frames in segment s.
+  uint32_t SegmentLength(uint32_t s) const {
+    assert(s < m);
+    return base + (s < extra ? 1 : 0);
+  }
+
+  /// First frame rank of segment s (and num_frames for s == m).
+  uint32_t SegmentStartRank(uint32_t s) const {
+    assert(s <= m);
+    return s * base + (s < extra ? s : extra);
+  }
+
+  uint32_t SegmentOfRank(uint32_t rank) const {
+    assert(rank < num_frames);
+    // Invert SegmentStartRank: ranks below extra*(base+1) are in the longer
+    // segments.
+    const uint32_t long_span = extra * (base + 1);
+    if (rank < long_span) return rank / (base + 1);
+    return base == 0 ? m - 1 : extra + (rank - long_span) / base;
+  }
+
+  uint32_t OffsetOfRank(uint32_t rank) const {
+    return rank - SegmentStartRank(SegmentOfRank(rank));
+  }
+
+  /// Broadcast position of (segment, offset).
+  uint32_t PositionOf(uint32_t s, uint32_t offset) const {
+    assert(s < m && offset < SegmentLength(s));
+    if (offset < base) return offset * m + s;
+    return base * m + s;  // tail round: only segments with the extra frame
+  }
+
+  uint32_t RankToPosition(uint32_t rank) const {
+    const uint32_t s = SegmentOfRank(rank);
+    return PositionOf(s, rank - SegmentStartRank(s));
+  }
+
+  uint32_t SegmentOfPosition(uint32_t pos) const {
+    assert(pos < num_frames);
+    const uint64_t full = static_cast<uint64_t>(base) * m;
+    return pos < full ? pos % m : static_cast<uint32_t>(pos - full);
+  }
+
+  uint32_t OffsetOfPosition(uint32_t pos) const {
+    assert(pos < num_frames);
+    const uint64_t full = static_cast<uint64_t>(base) * m;
+    return pos < full ? pos / m : base;
+  }
+
+  uint32_t PositionToRank(uint32_t pos) const {
+    const uint32_t s = SegmentOfPosition(pos);
+    return SegmentStartRank(s) + OffsetOfPosition(pos);
+  }
+};
+
+}  // namespace dsi::core

@@ -1,0 +1,216 @@
+#include "expindex/expindex.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsi::expindex {
+
+namespace {
+
+constexpr uint64_t kWatchdogCycles = 200;
+
+}  // namespace
+
+ExpIndex::ExpIndex(std::vector<uint64_t> keys, size_t packet_capacity,
+                   const ExpConfig& config)
+    : config_(config), keys_(std::move(keys)), program_(packet_capacity) {
+  assert(!keys_.empty());
+  assert(config_.index_base >= 2);
+  assert(config_.chunk_size >= 1);
+  std::sort(keys_.begin(), keys_.end());
+  const auto n = static_cast<uint32_t>(keys_.size());
+
+  // Chunk formation: nominal chunk_size keys, never splitting equal-key
+  // runs (same tie discipline as DSI frames; keeps chunk minima strictly
+  // increasing so containment reasoning is exact).
+  uint32_t start = 0;
+  while (start < n) {
+    chunk_first_.push_back(start);
+    uint32_t end = std::min(n, start + config_.chunk_size);
+    while (end < n && keys_[end] == keys_[end - 1]) ++end;
+    start = end;
+  }
+  chunk_first_.push_back(n);
+  num_chunks_ = static_cast<uint32_t>(chunk_first_.size() - 1);
+
+  entries_per_table_ = 0;
+  for (uint64_t reach = 1; reach < num_chunks_;
+       reach *= config_.index_base) {
+    ++entries_per_table_;
+  }
+  table_bytes_ =
+      config_.key_bytes +
+      entries_per_table_ * (config_.key_bytes + common::kPointerBytes);
+
+  table_slot_.resize(num_chunks_);
+  first_item_slot_.resize(num_chunks_);
+  for (uint32_t pos = 0; pos < num_chunks_; ++pos) {
+    table_slot_[pos] = program_.AddBucket(
+        broadcast::BucketKind::kDsiFrameTable, pos, table_bytes_);
+    first_item_slot_[pos] = program_.num_buckets();
+    for (uint32_t i = chunk_first_[pos]; i < chunk_first_[pos + 1]; ++i) {
+      program_.AddBucket(broadcast::BucketKind::kDataObject, i,
+                         config_.item_bytes);
+    }
+  }
+  program_.Finalize();
+}
+
+uint64_t ExpIndex::ChunkMinKey(uint32_t position) const {
+  assert(position < num_chunks_);
+  return keys_[chunk_first_[position]];
+}
+
+std::vector<ExpTableEntry> ExpIndex::TableAt(uint32_t position) const {
+  std::vector<ExpTableEntry> entries;
+  entries.reserve(entries_per_table_);
+  uint64_t reach = 1;
+  for (uint32_t i = 0; i < entries_per_table_; ++i) {
+    const auto target =
+        static_cast<uint32_t>((position + reach) % num_chunks_);
+    entries.push_back(ExpTableEntry{ChunkMinKey(target), target});
+    reach *= config_.index_base;
+  }
+  return entries;
+}
+
+ExpIndex::ChunkItems ExpIndex::ItemsAt(uint32_t position) const {
+  assert(position < num_chunks_);
+  ChunkItems ci;
+  ci.first_slot = first_item_slot_[position];
+  ci.first_rank = chunk_first_[position];
+  ci.count = chunk_first_[position + 1] - chunk_first_[position];
+  return ci;
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+ExpClient::ExpClient(const ExpIndex& index, broadcast::ClientSession* session)
+    : index_(index), session_(session) {
+  session_->InitialProbe();
+  deadline_packets_ = session_->now_packets() +
+                      kWatchdogCycles * index_.program().cycle_packets();
+}
+
+bool ExpClient::WatchdogExpired() const {
+  return session_->now_packets() >= deadline_packets_;
+}
+
+std::optional<uint32_t> ExpClient::ReadNextTable() {
+  const auto& program = index_.program();
+  const size_t nb = program.num_buckets();
+  while (!WatchdogExpired()) {
+    size_t slot = session_->current_slot();
+    size_t guard = 0;
+    while (program.bucket(slot).kind !=
+           broadcast::BucketKind::kDsiFrameTable) {
+      slot = (slot + 1) % nb;
+      if (++guard > nb) return std::nullopt;
+    }
+    if (session_->ReadBucket(slot)) {
+      ++stats_.tables_read;
+      return program.bucket(slot).payload;
+    }
+    ++stats_.buckets_lost;
+  }
+  return std::nullopt;
+}
+
+std::optional<uint32_t> ExpClient::Forward(uint32_t from, uint64_t key) {
+  // Cyclic key arithmetic: rel(x) = x - anchor (unsigned wraparound) gives
+  // the forward distance along the sorted-and-wrapped key axis.
+  uint32_t pos = from;
+  while (!WatchdogExpired()) {
+    const uint64_t cur_min = index_.ChunkMinKey(pos);
+    const auto entries = index_.TableAt(pos);
+    if (entries.empty()) return pos;  // single-chunk broadcast
+    const uint64_t rel_key = key - cur_min;
+    // Containment: key before the next chunk's minimum.
+    if (rel_key < entries.front().min_key - cur_min) return pos;
+    // Farthest entry that does not overshoot.
+    uint32_t next = entries.front().position;
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      if (it->min_key - cur_min <= rel_key) {
+        next = it->position;
+        break;
+      }
+    }
+    // Hop: read the chosen chunk's table (loss recovery may land later;
+    // that is fine — forwarding re-evaluates from wherever it lands).
+    if (session_->ReadBucket(index_.TableSlot(next))) {
+      ++stats_.tables_read;
+      pos = next;
+    } else {
+      ++stats_.buckets_lost;
+      const auto recovered = ReadNextTable();
+      if (!recovered) return std::nullopt;
+      pos = *recovered;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<uint32_t> ExpClient::Lookup(uint64_t key) {
+  auto out = RangeQuery(key, key);
+  return out;
+}
+
+std::vector<uint32_t> ExpClient::RangeQuery(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  std::vector<uint32_t> out;
+  const auto first_table = ReadNextTable();
+  if (!first_table) {
+    stats_.completed = false;
+    return out;
+  }
+  const auto start = Forward(*first_table, lo);
+  if (!start) {
+    stats_.completed = false;
+    return out;
+  }
+
+  // Sequential scan: read chunks while they can contain keys in [lo, hi].
+  uint32_t pos = *start;
+  uint32_t visited = 0;
+  while (visited < index_.num_chunks() && !WatchdogExpired()) {
+    ++visited;
+    // Retrieve this chunk's items — all of them: only the chunk minimum is
+    // known before listening, the item keys come with the payloads —
+    // retrying lost buckets next cycle, then filter by key.
+    const auto items = index_.ItemsAt(pos);
+    for (uint32_t i = 0; i < items.count; ++i) {
+      const uint32_t rank = items.first_rank + i;
+      while (!session_->ReadBucket(items.first_slot + i)) {
+        ++stats_.buckets_lost;
+        if (WatchdogExpired()) {
+          stats_.completed = false;
+          return out;
+        }
+      }
+      ++stats_.items_read;
+      const uint64_t key = index_.sorted_keys()[rank];
+      if (key >= lo && key <= hi) out.push_back(rank);
+    }
+    // Peek the next chunk via this chunk's table (entry 0).
+    const auto entries = index_.TableAt(pos);
+    if (entries.empty()) break;
+    const uint64_t next_min = entries.front().min_key;
+    if (next_min - lo > hi - lo) break;  // cyclic: next chunk past hi
+    const uint32_t next = entries.front().position;
+    while (!session_->ReadBucket(index_.TableSlot(next))) {
+      ++stats_.buckets_lost;
+      if (WatchdogExpired()) {
+        stats_.completed = false;
+        return out;
+      }
+    }
+    ++stats_.tables_read;
+    pos = next;
+  }
+  if (WatchdogExpired()) stats_.completed = false;
+  return out;
+}
+
+}  // namespace dsi::expindex

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file expindex.hpp
+/// \brief The exponential index of Xu, Lee & Tang (MobiSys'04), cited by
+/// the paper as the closest 1-D relative of DSI ("ideas of indexing the
+/// attribute ranges of exponentially increasing number of data objects...
+/// exponential index"): a fully distributed air index over a single sorted
+/// attribute. Every chunk of the broadcast carries a table whose entry i
+/// describes the key range starting r^(i-1) chunks ahead.
+///
+/// DSI is precisely this structure lifted to two dimensions through the
+/// Hilbert mapping (plus the broadcast reorganization); the bench
+/// `related_exponential_index` shows the two coincide on 1-D-equivalent
+/// workloads. Implemented here as an independent library over opaque
+/// uint64 keys.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "broadcast/client.hpp"
+#include "broadcast/program.hpp"
+#include "common/sizes.hpp"
+
+namespace dsi::expindex {
+
+/// Build parameters.
+struct ExpConfig {
+  uint32_t index_base = 2;   ///< r: entry i covers r^(i-1)..r^i - 1 chunks.
+  uint32_t chunk_size = 1;   ///< Data items per chunk (the paper's "chunk").
+  uint32_t key_bytes = 8;    ///< Serialized key width in tables.
+  uint32_t item_bytes = common::kDataObjectBytes;  ///< Payload per item.
+};
+
+/// One decoded table entry: the minimum key of the chunk \p chunks_ahead
+/// positions ahead of the carrying chunk.
+struct ExpTableEntry {
+  uint64_t min_key = 0;
+  uint32_t position = 0;  ///< Absolute chunk position within the cycle.
+};
+
+/// Server-side exponential-index broadcast over sorted keys.
+class ExpIndex {
+ public:
+  /// \param keys Item keys; sorted internally (stable ids = input ranks
+  /// after sorting).
+  ExpIndex(std::vector<uint64_t> keys, size_t packet_capacity,
+           const ExpConfig& config);
+
+  const ExpConfig& config() const { return config_; }
+  const broadcast::BroadcastProgram& program() const { return program_; }
+  uint32_t num_chunks() const { return num_chunks_; }
+  uint32_t entries_per_table() const { return entries_per_table_; }
+  uint32_t table_bytes() const { return table_bytes_; }
+  const std::vector<uint64_t>& sorted_keys() const { return keys_; }
+
+  /// Min key of the chunk at \p position.
+  uint64_t ChunkMinKey(uint32_t position) const;
+  /// Decoded index table of the chunk at \p position.
+  std::vector<ExpTableEntry> TableAt(uint32_t position) const;
+  /// Program slot of the table / first item bucket of a chunk.
+  size_t TableSlot(uint32_t position) const { return table_slot_[position]; }
+  struct ChunkItems {
+    size_t first_slot = 0;
+    uint32_t first_rank = 0;
+    uint32_t count = 0;
+  };
+  ChunkItems ItemsAt(uint32_t position) const;
+
+ private:
+  ExpConfig config_;
+  std::vector<uint64_t> keys_;            // sorted
+  std::vector<uint32_t> chunk_first_;     // chunk -> first key rank (+end)
+  uint32_t num_chunks_ = 0;
+  uint32_t entries_per_table_ = 0;
+  uint32_t table_bytes_ = 0;
+  std::vector<size_t> table_slot_;
+  std::vector<size_t> first_item_slot_;
+  broadcast::BroadcastProgram program_;
+};
+
+/// Per-query diagnostics.
+struct ExpQueryStats {
+  uint64_t tables_read = 0;
+  uint64_t items_read = 0;
+  uint64_t buckets_lost = 0;
+  bool completed = true;
+};
+
+/// Client-side search: exponential forwarding toward a key, then
+/// sequential retrieval over a key range.
+class ExpClient {
+ public:
+  ExpClient(const ExpIndex& index, broadcast::ClientSession* session);
+
+  /// Ranks (into sorted_keys()) of all items with key exactly \p key.
+  std::vector<uint32_t> Lookup(uint64_t key);
+
+  /// Ranks of all items with key in [lo, hi].
+  std::vector<uint32_t> RangeQuery(uint64_t lo, uint64_t hi);
+
+  const ExpQueryStats& stats() const { return stats_; }
+
+ private:
+  /// Reads the next table at/after the session position (loss-recovering).
+  std::optional<uint32_t> ReadNextTable();
+  /// Exponential forwarding: hop to the latest chunk whose min key is
+  /// still <= \p key without overshooting, starting from \p from (a chunk
+  /// whose table was just read). Returns the final chunk position.
+  std::optional<uint32_t> Forward(uint32_t from, uint64_t key);
+
+  bool WatchdogExpired() const;
+
+  const ExpIndex& index_;
+  broadcast::ClientSession* session_;
+  ExpQueryStats stats_;
+  uint64_t deadline_packets_ = 0;
+};
+
+}  // namespace dsi::expindex

@@ -1,0 +1,310 @@
+#include "hci/hci.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dsi::hci {
+
+namespace {
+
+constexpr uint64_t kWatchdogCycles = 400;
+
+std::vector<datasets::SpatialObject> SortByHc(
+    std::vector<datasets::SpatialObject> objects,
+    const hilbert::SpaceMapper& mapper) {
+  std::sort(objects.begin(), objects.end(),
+            [&](const datasets::SpatialObject& a,
+                const datasets::SpatialObject& b) {
+              const uint64_t ha = mapper.PointToIndex(a.location);
+              const uint64_t hb = mapper.PointToIndex(b.location);
+              return ha != hb ? ha < hb : a.id < b.id;
+            });
+  return objects;
+}
+
+bptree::BptTree BuildTree(const std::vector<datasets::SpatialObject>& objects,
+                          const hilbert::SpaceMapper& mapper,
+                          size_t packet_capacity) {
+  std::vector<uint64_t> keys;
+  keys.reserve(objects.size());
+  for (const auto& o : objects) keys.push_back(mapper.PointToIndex(o.location));
+  return bptree::BptTree(std::move(keys),
+                         bptree::BptTree::FanoutForCapacity(packet_capacity));
+}
+
+}  // namespace
+
+HciIndex::HciIndex(std::vector<datasets::SpatialObject> objects,
+                   const hilbert::SpaceMapper& mapper, size_t packet_capacity,
+                   uint32_t target_subtrees, broadcast::TreeLayout layout)
+    : mapper_(mapper),
+      objects_(SortByHc(std::move(objects), mapper)),
+      tree_(BuildTree(objects_, mapper, packet_capacity)),
+      air_(tree_.ToAirSpec(std::vector<uint32_t>(
+               objects_.size(), common::kDataObjectBytes)),
+           packet_capacity, target_subtrees, layout) {}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+HciClient::HciClient(const HciIndex& index, broadcast::ClientSession* session)
+    : index_(index),
+      session_(session),
+      node_cache_(index.tree().num_nodes(), false),
+      retrieved_(index.sorted_objects().size()) {
+  session_->InitialProbe();
+  deadline_packets_ = session_->now_packets() +
+                      kWatchdogCycles * index_.program().cycle_packets();
+}
+
+bool HciClient::WatchdogExpired() const {
+  return session_->now_packets() >= deadline_packets_;
+}
+
+bool HciClient::ReadNode(uint32_t node_id) {
+  if (node_cache_[node_id]) return true;  // already downloaded this query
+  // Drain pending data buckets that pass by before the node: listening to
+  // them now is free latency-wise, and skipping them would cost a cycle.
+  FlushPassingData(node_id);
+  while (!WatchdogExpired()) {
+    const size_t slot = index_.air().NextNodeSlot(node_id, *session_);
+    if (session_->ReadBucket(slot)) {
+      ++stats_.nodes_read;
+      node_cache_[node_id] = true;
+      if (index_.tree().is_leaf(node_id)) {
+        cached_leaf_by_front_[index_.tree().entries(node_id).front().key] =
+            node_id;
+      }
+      return true;
+    }
+    ++stats_.buckets_lost;
+    // A lost tree node can only be recovered from a later occurrence
+    // (next path replica or next cycle) — the tree-index weakness in
+    // error-prone environments (Section 5).
+  }
+  stats_.completed = false;
+  return false;
+}
+
+bool HciClient::ReadData(uint32_t data_id) {
+  if (retrieved_[data_id].has_value()) return true;
+  while (!WatchdogExpired()) {
+    if (session_->ReadBucket(index_.air().DataSlot(data_id))) {
+      ++stats_.objects_read;
+      retrieved_[data_id] = index_.sorted_objects()[data_id];
+      return true;
+    }
+    ++stats_.buckets_lost;  // retry next cycle
+  }
+  stats_.completed = false;
+  return false;
+}
+
+void HciClient::FlushPassingData(uint32_t before_node) {
+  // Repeatedly read the pending data bucket that comes up soonest, as long
+  // as it arrives before the node we are headed to.
+  while (!pending_data_.empty() && !WatchdogExpired()) {
+    const size_t node_slot = index_.air().NextNodeSlot(before_node, *session_);
+    const uint64_t node_wait = session_->PacketsUntil(node_slot);
+    uint64_t best_wait = UINT64_MAX;
+    size_t best_i = SIZE_MAX;
+    for (size_t i = 0; i < pending_data_.size(); ++i) {
+      const uint64_t w =
+          session_->PacketsUntil(index_.air().DataSlot(pending_data_[i]));
+      if (w < best_wait) {
+        best_wait = w;
+        best_i = i;
+      }
+    }
+    if (best_i == SIZE_MAX || best_wait >= node_wait) return;
+    const uint32_t d = pending_data_[best_i];
+    pending_data_.erase(pending_data_.begin() +
+                        static_cast<ptrdiff_t>(best_i));
+    if (!ReadData(d)) return;
+  }
+}
+
+void HciClient::RetrieveRanges(const std::vector<hilbert::HcRange>& targets) {
+  const auto& tree = index_.tree();
+  const uint64_t half_cycle = index_.program().cycle_packets() / 2;
+  for (const hilbert::HcRange& range : targets) {
+    if (WatchdogExpired()) {
+      stats_.completed = false;
+      return;
+    }
+    // Cached anchor: the downloaded leaf with the largest first key
+    // *strictly below* range.lo, if any (strictness matters with duplicate
+    // keys: a run equal to range.lo may begin before a leaf whose first
+    // key equals it). The range's content is reachable from the anchor by
+    // a forward leaf scan (keys ascend with leaf id).
+    uint32_t anchor = UINT32_MAX;
+    if (auto it = cached_leaf_by_front_.lower_bound(range.lo);
+        it != cached_leaf_by_front_.begin()) {
+      anchor = std::prev(it)->second;
+    }
+
+    uint32_t node;
+    if (anchor != UINT32_MAX &&
+        tree.entries(anchor).back().key >= range.lo) {
+      // Free path: the anchor leaf itself covers range.lo.
+      node = anchor;
+    } else {
+      // Descend from the root (its next replica precedes the next subtree)
+      // to the leaf that may contain range.lo. Nodes cached from earlier
+      // ranges are free. If the descent needs an internal node that has
+      // just gone by (the preorder layout interleaves internal nodes
+      // between leaf groups, and leaf scans doze past them), waiting would
+      // cost a whole cycle — the client knows this from the arrival-time
+      // pointers and scans leaves forward from the anchor instead.
+      node = tree.root();
+      bool by_scan = false;
+      if (!ReadNode(node)) return;
+      while (!tree.is_leaf(node)) {
+        const uint32_t child =
+            tree.entries(node)[tree.DescendIndexForRange(node, range.lo)]
+                .child;
+        if (!node_cache_[child] && anchor != UINT32_MAX &&
+            session_->PacketsUntil(
+                index_.air().NextNodeSlot(child, *session_)) > half_cycle) {
+          by_scan = true;
+          break;
+        }
+        if (!ReadNode(child)) return;
+        node = child;
+      }
+      if (by_scan) {
+        node = anchor;
+        while (tree.entries(node).back().key < range.lo) {
+          const uint32_t next = tree.NextLeaf(node);
+          if (next == UINT32_MAX) break;
+          if (!ReadNode(next)) return;
+          node = next;
+        }
+      }
+    }
+    // Scan leaves forward while they may contain keys <= range.hi.
+    while (true) {
+      const auto& es = tree.entries(node);
+      for (const bptree::BptEntry& e : es) {
+        if (e.key >= range.lo && e.key <= range.hi &&
+            !retrieved_[e.child].has_value()) {
+          pending_data_.push_back(e.child);
+        }
+      }
+      if (es.back().key > range.hi) break;
+      const uint32_t next = tree.NextLeaf(node);
+      if (next == UINT32_MAX) break;
+      if (!ReadNode(next)) return;
+      node = next;
+    }
+  }
+  // Drain the remaining pending data in occurrence order.
+  while (!pending_data_.empty()) {
+    if (WatchdogExpired()) {
+      stats_.completed = false;
+      return;
+    }
+    uint64_t best_wait = UINT64_MAX;
+    size_t best_i = 0;
+    for (size_t i = 0; i < pending_data_.size(); ++i) {
+      const uint64_t w =
+          session_->PacketsUntil(index_.air().DataSlot(pending_data_[i]));
+      if (w < best_wait) {
+        best_wait = w;
+        best_i = i;
+      }
+    }
+    const uint32_t d = pending_data_[best_i];
+    pending_data_.erase(pending_data_.begin() +
+                        static_cast<ptrdiff_t>(best_i));
+    if (!ReadData(d)) return;
+  }
+}
+
+std::vector<datasets::SpatialObject> HciClient::WindowQuery(
+    const common::Rect& window) {
+  RetrieveRanges(index_.mapper().WindowToRanges(window));
+  std::vector<datasets::SpatialObject> out;
+  for (const auto& o : retrieved_) {
+    if (o.has_value() && window.Contains(o->location)) out.push_back(*o);
+  }
+  return out;
+}
+
+std::vector<datasets::SpatialObject> HciClient::KnnQuery(
+    const common::Point& q, size_t k) {
+  assert(k > 0);
+  const auto& tree = index_.tree();
+  const auto& mapper = index_.mapper();
+  const uint64_t h = mapper.PointToIndex(q);
+
+  // Phase 1: collect curve-neighbour candidate keys around h by descending
+  // to h's leaf and scanning forward until k keys >= h are seen (keys < h
+  // in the visited leaves count as candidates too).
+  std::vector<uint64_t> candidate_keys;
+  uint32_t node = tree.root();
+  if (!ReadNode(node)) return {};
+  while (!tree.is_leaf(node)) {
+    const uint32_t child = tree.entries(node)[tree.DescendIndex(node, h)].child;
+    if (!ReadNode(child)) return {};
+    node = child;
+  }
+  size_t ge_count = 0;
+  while (true) {
+    for (const bptree::BptEntry& e : tree.entries(node)) {
+      candidate_keys.push_back(e.key);
+      if (e.key >= h) ++ge_count;
+    }
+    if (ge_count >= k) break;
+    const uint32_t next = tree.NextLeaf(node);
+    if (next == UINT32_MAX) break;
+    if (!ReadNode(next)) return {};
+    node = next;
+  }
+
+  // Search-circle radius, per the published HCI kNN algorithm [18]: take
+  // the k candidates closest to h along the curve and use the largest
+  // Euclidean distance among them (cell upper bounds keep it sound). The
+  // curve-proximity heuristic makes the circle loose — spatially near is
+  // not always curve-near — which is exactly the inefficiency the paper's
+  // Figures 11/12 expose. Falls back to the universe diagonal if the curve
+  // ran out of candidates.
+  double radius;
+  if (candidate_keys.size() < k) {
+    const common::Rect& u = mapper.universe();
+    radius = std::sqrt(u.Width() * u.Width() + u.Height() * u.Height());
+  } else {
+    std::sort(candidate_keys.begin(), candidate_keys.end(),
+              [h](uint64_t a, uint64_t b) {
+                const uint64_t da = a > h ? a - h : h - a;
+                const uint64_t db = b > h ? b - h : h - b;
+                return da != db ? da < db : a < b;
+              });
+    radius = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      radius = std::max(radius, mapper.MaxDistanceToIndex(q, candidate_keys[i]));
+    }
+  }
+
+  // Phase 2: retrieve everything inside the circle and keep the k nearest.
+  RetrieveRanges(mapper.CircleToRanges(q, radius));
+
+  std::vector<datasets::SpatialObject> out;
+  for (const auto& o : retrieved_) {
+    if (o.has_value()) out.push_back(*o);
+  }
+  std::sort(out.begin(), out.end(),
+            [&](const datasets::SpatialObject& a,
+                const datasets::SpatialObject& b) {
+              const double da = common::SquaredDistance(q, a.location);
+              const double db = common::SquaredDistance(q, b.location);
+              return da != db ? da < db : a.id < b.id;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace dsi::hci

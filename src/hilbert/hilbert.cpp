@@ -1,0 +1,138 @@
+#include "hilbert/hilbert.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace dsi::hilbert {
+
+HilbertCurve::HilbertCurve(int order) : order_(order) {
+  assert(order >= 1 && order <= 31);
+  side_ = uint64_t{1} << order_;
+}
+
+uint64_t HilbertCurve::CellToIndex(uint32_t x_in, uint32_t y_in) const {
+  assert(x_in < side_ && y_in < side_);
+  uint64_t x = x_in;
+  uint64_t y = y_in;
+  uint64_t d = 0;
+  for (uint64_t s = side_ / 2; s > 0; s /= 2) {
+    const uint64_t rx = (x & s) ? 1 : 0;
+    const uint64_t ry = (y & s) ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Drop to subsquare-local coordinates, then rotate the quadrant so the
+    // next level sees canonical orientation.
+    x &= s - 1;
+    y &= s - 1;
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+std::pair<uint32_t, uint32_t> HilbertCurve::IndexToCell(uint64_t index) const {
+  assert(index < num_cells());
+  uint64_t t = index;
+  uint64_t x = 0;
+  uint64_t y = 0;
+  for (uint64_t s = 1; s < side_; s *= 2) {
+    const uint64_t rx = 1 & (t / 2);
+    const uint64_t ry = 1 & (t ^ rx);
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  return {static_cast<uint32_t>(x), static_cast<uint32_t>(y)};
+}
+
+std::vector<HcRange> HilbertCurve::RangesMatching(
+    const BlockClassifier& classify) const {
+  std::vector<HcRange> out;
+  RangesRecurse(0, side_, classify, &out);
+  return NormalizeRanges(std::move(out));
+}
+
+std::vector<HcRange> HilbertCurve::RangesInCellRect(uint32_t x_lo,
+                                                    uint32_t y_lo,
+                                                    uint32_t x_hi,
+                                                    uint32_t y_hi) const {
+  assert(x_lo <= x_hi && y_lo <= y_hi);
+  assert(x_hi < side_ && y_hi < side_);
+  return RangesMatching([=](uint64_t bx, uint64_t by, uint64_t side) {
+    const uint64_t bx_hi = bx + side - 1;
+    const uint64_t by_hi = by + side - 1;
+    if (bx > x_hi || bx_hi < x_lo || by > y_hi || by_hi < y_lo) {
+      return BlockClass::kDisjoint;
+    }
+    if (bx >= x_lo && bx_hi <= x_hi && by >= y_lo && by_hi <= y_hi) {
+      return BlockClass::kFull;
+    }
+    return BlockClass::kPartial;
+  });
+}
+
+void HilbertCurve::RangesRecurse(uint64_t hc_base, uint64_t block_side,
+                                 const BlockClassifier& classify,
+                                 std::vector<HcRange>* out) const {
+  // The quadtree block holding curve indexes [hc_base, hc_base + side^2) is
+  // an alignment-snapped square: locate it via any member cell.
+  const auto [cx, cy] = IndexToCell(hc_base);
+  const uint64_t bx = cx & ~(block_side - 1);
+  const uint64_t by = cy & ~(block_side - 1);
+
+  switch (classify(bx, by, block_side)) {
+    case BlockClass::kDisjoint:
+      return;
+    case BlockClass::kFull:
+      out->push_back(HcRange{hc_base, hc_base + block_side * block_side - 1});
+      return;
+    case BlockClass::kPartial:
+      break;
+  }
+  if (block_side == 1) {
+    // A single cell classified partial counts as a match (the classifier
+    // could not prune it); emit it so the decomposition stays conservative.
+    out->push_back(HcRange{hc_base, hc_base});
+    return;
+  }
+  const uint64_t child_side = block_side / 2;
+  const uint64_t child_cells = child_side * child_side;
+  for (uint64_t q = 0; q < 4; ++q) {
+    RangesRecurse(hc_base + q * child_cells, child_side, classify, out);
+  }
+}
+
+std::vector<HcRange> NormalizeRanges(std::vector<HcRange> ranges) {
+  if (ranges.empty()) return ranges;
+  std::sort(ranges.begin(), ranges.end(),
+            [](const HcRange& a, const HcRange& b) {
+              return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+            });
+  std::vector<HcRange> merged;
+  merged.reserve(ranges.size());
+  merged.push_back(ranges.front());
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    HcRange& back = merged.back();
+    // Merge overlapping or adjacent ranges ([0,3] + [4,9] -> [0,9]).
+    if (ranges[i].lo <= back.hi + 1) {
+      back.hi = std::max(back.hi, ranges[i].hi);
+    } else {
+      merged.push_back(ranges[i]);
+    }
+  }
+  return merged;
+}
+
+}  // namespace dsi::hilbert

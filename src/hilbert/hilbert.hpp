@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file hilbert.hpp
+/// \brief 2-D Hilbert space-filling curve: cell <-> curve-index conversion
+/// and decomposition of a rectangular region into maximal contiguous curve
+/// ranges.
+///
+/// DSI (and the HCI baseline) broadcast objects in ascending Hilbert-value
+/// order; the window-query algorithms first decompose the query window into
+/// "target segments" — the maximal runs of consecutive Hilbert values whose
+/// cells lie inside the window (Section 3.3 of the paper).
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace dsi::hilbert {
+
+/// An inclusive range [lo, hi] of Hilbert curve indexes.
+struct HcRange {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const HcRange& a, const HcRange& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// A Hilbert curve of a given order k covering a (2^k x 2^k) cell grid.
+///
+/// The conversion routines are the classic iterative rotate/flip algorithm;
+/// they run in O(order) time with no allocation, matching the paper's
+/// "constant time" conversion claim for a fixed order.
+class HilbertCurve {
+ public:
+  /// \param order Curve order k, 1 <= k <= 31 (indexes fit in 62 bits).
+  explicit HilbertCurve(int order);
+
+  int order() const { return order_; }
+
+  /// Grid side length, 2^order.
+  uint64_t side() const { return side_; }
+
+  /// Total number of cells (= number of distinct curve indexes), 4^order.
+  uint64_t num_cells() const { return side_ * side_; }
+
+  /// Maps cell coordinates (x, y), each in [0, side), to the curve index.
+  uint64_t CellToIndex(uint32_t x, uint32_t y) const;
+
+  /// Inverse of CellToIndex.
+  std::pair<uint32_t, uint32_t> IndexToCell(uint64_t index) const;
+
+  /// How a quadtree block (an aligned square of cells) relates to a query
+  /// region.
+  enum class BlockClass {
+    kDisjoint,  ///< No cell of the block is in the region: prune.
+    kPartial,   ///< Some cells may be: recurse.
+    kFull,      ///< Every cell is: emit the block's whole curve range.
+  };
+
+  /// Classifier over quadtree blocks given by their min-corner cell
+  /// (bx, by) and side length (a power of two).
+  using BlockClassifier =
+      std::function<BlockClass(uint64_t bx, uint64_t by, uint64_t side)>;
+
+  /// Generic region decomposition: returns the minimal sorted set of
+  /// maximal contiguous curve ranges covering the region described by
+  /// \p classify. Quadtree descent: full blocks are emitted without
+  /// further descent, disjoint blocks are pruned.
+  std::vector<HcRange> RangesMatching(const BlockClassifier& classify) const;
+
+  /// Decomposes the inclusive cell rectangle [x_lo..x_hi] x [y_lo..y_hi]
+  /// into maximal contiguous curve ranges, sorted ascending.
+  std::vector<HcRange> RangesInCellRect(uint32_t x_lo, uint32_t y_lo,
+                                        uint32_t x_hi, uint32_t y_hi) const;
+
+ private:
+  /// Quadtree descent: the subtree rooted at curve index \p hc_base with
+  /// block side \p block_side covers an axis-aligned, alignment-snapped
+  /// square of cells; prune it, emit it whole, or recurse into its four
+  /// curve-ordered children.
+  void RangesRecurse(uint64_t hc_base, uint64_t block_side,
+                     const BlockClassifier& classify,
+                     std::vector<HcRange>* out) const;
+
+  int order_;
+  uint64_t side_;
+};
+
+/// Merges touching/overlapping sorted-or-unsorted ranges into the minimal
+/// sorted set of maximal ranges (lo..hi inclusive; [0,3] and [4,9] merge).
+std::vector<HcRange> NormalizeRanges(std::vector<HcRange> ranges);
+
+}  // namespace dsi::hilbert

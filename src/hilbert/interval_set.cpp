@@ -1,0 +1,68 @@
+#include "hilbert/interval_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsi::hilbert {
+
+void IntervalSet::Add(const HcRange& r) {
+  assert(r.lo <= r.hi);
+  // Find insertion window: all ranges overlapping or adjacent to r.
+  auto first = std::lower_bound(
+      ranges_.begin(), ranges_.end(), r,
+      [](const HcRange& a, const HcRange& b) {
+        // a entirely before b with a gap (not adjacent).
+        return a.hi != UINT64_MAX && a.hi + 1 < b.lo;
+      });
+  auto last = std::upper_bound(
+      first, ranges_.end(), r, [](const HcRange& a, const HcRange& b) {
+        return a.hi != UINT64_MAX && a.hi + 1 < b.lo;
+      });
+  HcRange merged = r;
+  if (first != last) {
+    merged.lo = std::min(merged.lo, first->lo);
+    merged.hi = std::max(merged.hi, std::prev(last)->hi);
+  }
+  auto pos = ranges_.erase(first, last);
+  ranges_.insert(pos, merged);
+}
+
+bool IntervalSet::Intersects(const HcRange& r) const {
+  // First range with hi >= r.lo; it intersects iff its lo <= r.hi.
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), r.lo,
+      [](const HcRange& a, uint64_t v) { return a.hi < v; });
+  return it != ranges_.end() && it->lo <= r.hi;
+}
+
+bool IntervalSet::Covers(const HcRange& r) const {
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), r.lo,
+      [](const HcRange& a, uint64_t v) { return a.hi < v; });
+  return it != ranges_.end() && it->lo <= r.lo && r.hi <= it->hi;
+}
+
+std::vector<HcRange> IntervalSet::Subtract(
+    const std::vector<HcRange>& targets) const {
+  std::vector<HcRange> out;
+  for (const HcRange& t : targets) {
+    uint64_t cur = t.lo;
+    auto it = std::lower_bound(
+        ranges_.begin(), ranges_.end(), t.lo,
+        [](const HcRange& a, uint64_t v) { return a.hi < v; });
+    bool open = true;
+    while (it != ranges_.end() && it->lo <= t.hi) {
+      if (it->lo > cur) out.push_back(HcRange{cur, it->lo - 1});
+      if (it->hi >= t.hi) {
+        open = false;
+        break;
+      }
+      cur = it->hi + 1;
+      ++it;
+    }
+    if (open && cur <= t.hi) out.push_back(HcRange{cur, t.hi});
+  }
+  return NormalizeRanges(std::move(out));
+}
+
+}  // namespace dsi::hilbert

@@ -1,0 +1,67 @@
+#include "ondemand/ondemand.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dsi::ondemand {
+
+OnDemandStats SimulateQueue(const std::vector<Arrival>& arrivals,
+                            const OnDemandConfig& config) {
+  OnDemandStats stats;
+  stats.queries = arrivals.size();
+  if (arrivals.empty()) return stats;
+  assert(std::is_sorted(arrivals.begin(), arrivals.end(),
+                        [](const Arrival& a, const Arrival& b) {
+                          return a.time < b.time;
+                        }));
+  double server_free = 0.0;
+  double busy = 0.0;
+  double total_latency = 0.0;
+  double total_wait = 0.0;
+  for (const Arrival& a : arrivals) {
+    // The request itself rides the uplink before service can start.
+    const double ready = a.time + static_cast<double>(config.request_bytes);
+    const double start = std::max(ready, server_free);
+    const double service =
+        static_cast<double>(config.processing_bytes) +
+        static_cast<double>(config.per_result_bytes) *
+            static_cast<double>(a.result_objects);
+    const double done = start + service;
+    total_wait += start - ready;
+    total_latency += done - a.time;
+    busy += service;
+    server_free = done;
+  }
+  const double n = static_cast<double>(arrivals.size());
+  stats.mean_latency_bytes = total_latency / n;
+  stats.mean_queue_wait_bytes = total_wait / n;
+  const double span = server_free - arrivals.front().time;
+  stats.utilization = span > 0.0 ? busy / span : 0.0;
+  return stats;
+}
+
+std::vector<Arrival> MakePoissonArrivals(double rate, double horizon_bytes,
+                                         uint64_t min_results,
+                                         uint64_t max_results,
+                                         common::Rng* rng) {
+  assert(rate > 0.0);
+  assert(min_results <= max_results);
+  std::vector<Arrival> arrivals;
+  double t = 0.0;
+  while (true) {
+    // Exponential inter-arrival times.
+    const double u = rng->Uniform(1e-12, 1.0);
+    t += -std::log(u) / rate;
+    if (t >= horizon_bytes) break;
+    Arrival a;
+    a.time = t;
+    a.result_objects = static_cast<uint64_t>(
+        rng->UniformInt(static_cast<int64_t>(min_results),
+                        static_cast<int64_t>(max_results)));
+    arrivals.push_back(a);
+  }
+  return arrivals;
+}
+
+}  // namespace dsi::ondemand

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file ondemand.hpp
+/// \brief The alternative access model of the paper's introduction:
+/// on-demand point-to-point service. "In on-demand access, the server
+/// processes a query and returns query result to the user via a
+/// point-to-point channel... On-demand access is good for light-loaded
+/// systems when contention for wireless channels and server processing is
+/// not severe. Broadcast, allowing an arbitrary number of users to access
+/// data simultaneously, is suitable for heavy-loaded systems."
+///
+/// This module makes that trade-off measurable: a single-server FIFO queue
+/// (uplink request + server processing + downlink transfer, all expressed
+/// in channel-byte time units so results are comparable with the broadcast
+/// metrics) serving Poisson query arrivals. The companion bench
+/// `motivation_ondemand_vs_broadcast` locates the crossover load beyond
+/// which the broadcast channel wins.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dsi::ondemand {
+
+/// Cost model of one on-demand interaction, in bytes of channel time
+/// (1 byte = the time the broadcast channel needs to push 1 byte, so both
+/// worlds share a clock).
+struct OnDemandConfig {
+  /// Uplink request cost (query coordinates + header).
+  uint64_t request_bytes = 64;
+  /// Server think time per query, expressed in byte-times.
+  uint64_t processing_bytes = 2048;
+  /// Downlink cost per result object.
+  uint64_t per_result_bytes = 1024;
+};
+
+/// One simulated query arrival.
+struct Arrival {
+  double time = 0.0;        ///< Arrival time in byte-times.
+  uint64_t result_objects = 0;  ///< Result cardinality (drives downlink).
+};
+
+/// Aggregate outcome of an on-demand simulation.
+struct OnDemandStats {
+  double mean_latency_bytes = 0.0;  ///< Mean response time (wait + service).
+  double mean_queue_wait_bytes = 0.0;
+  double utilization = 0.0;  ///< Fraction of time the server was busy.
+  size_t queries = 0;
+};
+
+/// Simulates a single-server FIFO queue over the given arrivals (sorted by
+/// time). Deterministic.
+OnDemandStats SimulateQueue(const std::vector<Arrival>& arrivals,
+                            const OnDemandConfig& config);
+
+/// Generates Poisson arrivals at \p rate (queries per byte-time) over a
+/// horizon, with result cardinalities drawn uniformly from
+/// [min_results, max_results].
+std::vector<Arrival> MakePoissonArrivals(double rate, double horizon_bytes,
+                                         uint64_t min_results,
+                                         uint64_t max_results,
+                                         common::Rng* rng);
+
+}  // namespace dsi::ondemand

@@ -1,0 +1,231 @@
+#include "rtree/rtree_air.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace dsi::rtree {
+
+namespace {
+
+constexpr uint64_t kWatchdogCycles = 400;
+
+}  // namespace
+
+RtreeIndex::RtreeIndex(std::vector<datasets::SpatialObject> objects,
+                       size_t packet_capacity, uint32_t target_subtrees,
+                       broadcast::TreeLayout layout)
+    : tree_(std::move(objects), Rtree::FanoutForCapacity(packet_capacity)),
+      air_(tree_.ToAirSpec(std::vector<uint32_t>(
+               tree_.str_objects().size(), common::kDataObjectBytes)),
+           packet_capacity, target_subtrees, layout) {
+  assert(Rtree::SupportedCapacity(packet_capacity));
+}
+
+RtreeClient::RtreeClient(const RtreeIndex& index,
+                         broadcast::ClientSession* session)
+    : index_(index),
+      session_(session),
+      node_cache_(index.tree().num_nodes(), false),
+      retrieved_(index.str_objects().size()) {
+  session_->InitialProbe();
+  deadline_packets_ = session_->now_packets() +
+                      kWatchdogCycles * index_.program().cycle_packets();
+}
+
+bool RtreeClient::WatchdogExpired() const {
+  return session_->now_packets() >= deadline_packets_;
+}
+
+bool RtreeClient::ReadNode(uint32_t node_id) {
+  if (node_cache_[node_id]) return true;  // already downloaded this query
+  // Drain pending data buckets that pass by on the way to the node.
+  FlushPassingData(node_id);
+  while (!WatchdogExpired()) {
+    const size_t slot = index_.air().NextNodeSlot(node_id, *session_);
+    if (session_->ReadBucket(slot)) {
+      ++stats_.nodes_read;
+      node_cache_[node_id] = true;
+      return true;
+    }
+    ++stats_.buckets_lost;  // wait for the next occurrence (next replica
+                            // or next cycle)
+  }
+  stats_.completed = false;
+  return false;
+}
+
+bool RtreeClient::ReadData(uint32_t data_id) {
+  if (retrieved_[data_id].has_value()) return true;
+  while (!WatchdogExpired()) {
+    if (session_->ReadBucket(index_.air().DataSlot(data_id))) {
+      ++stats_.objects_read;
+      retrieved_[data_id] = index_.str_objects()[data_id];
+      return true;
+    }
+    ++stats_.buckets_lost;
+  }
+  stats_.completed = false;
+  return false;
+}
+
+void RtreeClient::FlushPassingData(uint32_t before_node) {
+  // Repeatedly read the pending data bucket that comes up soonest, as long
+  // as it arrives before the node we are headed to (recomputed each pass,
+  // since reading advances time).
+  while (!pending_data_.empty() && !WatchdogExpired()) {
+    const uint64_t node_wait = session_->PacketsUntil(
+        index_.air().NextNodeSlot(before_node, *session_));
+    uint64_t best_wait = UINT64_MAX;
+    size_t best_i = SIZE_MAX;
+    for (size_t i = 0; i < pending_data_.size(); ++i) {
+      const uint64_t w =
+          session_->PacketsUntil(index_.air().DataSlot(pending_data_[i]));
+      if (w < best_wait) {
+        best_wait = w;
+        best_i = i;
+      }
+    }
+    if (best_i == SIZE_MAX || best_wait >= node_wait) return;
+    const uint32_t d = pending_data_[best_i];
+    pending_data_.erase(pending_data_.begin() +
+                        static_cast<ptrdiff_t>(best_i));
+    if (!ReadData(d)) return;
+  }
+}
+
+void RtreeClient::DrainPendingData() {
+  while (!pending_data_.empty() && !WatchdogExpired()) {
+    uint64_t best_wait = UINT64_MAX;
+    size_t best_i = 0;
+    for (size_t i = 0; i < pending_data_.size(); ++i) {
+      const uint64_t w =
+          session_->PacketsUntil(index_.air().DataSlot(pending_data_[i]));
+      if (w < best_wait) {
+        best_wait = w;
+        best_i = i;
+      }
+    }
+    const uint32_t d = pending_data_[best_i];
+    pending_data_.erase(pending_data_.begin() +
+                        static_cast<ptrdiff_t>(best_i));
+    if (!ReadData(d)) return;
+  }
+  if (!pending_data_.empty()) stats_.completed = false;
+}
+
+size_t RtreeClient::EarliestFrontierIndex(
+    const std::vector<uint32_t>& frontier) const {
+  uint64_t best_wait = UINT64_MAX;
+  size_t best_i = SIZE_MAX;
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    const uint64_t w = session_->PacketsUntil(
+        index_.air().NextNodeSlot(frontier[i], *session_));
+    if (w < best_wait) {
+      best_wait = w;
+      best_i = i;
+    }
+  }
+  return best_i;
+}
+
+std::vector<datasets::SpatialObject> RtreeClient::WindowQuery(
+    const common::Rect& window) {
+  const Rtree& tree = index_.tree();
+  std::vector<uint32_t> frontier{tree.root()};
+  while (!frontier.empty()) {
+    if (WatchdogExpired()) {
+      stats_.completed = false;
+      return {};
+    }
+    const size_t i = EarliestFrontierIndex(frontier);
+    const uint32_t node = frontier[i];
+    frontier.erase(frontier.begin() + static_cast<ptrdiff_t>(i));
+    if (!ReadNode(node)) return {};
+    for (const Rtree::Entry& e : tree.entries(node)) {
+      if (!e.mbr.Intersects(window)) continue;
+      if (tree.is_leaf(node)) {
+        // Leaf entries carry the exact point: membership is known here,
+        // the payload still has to be fetched from the data segment.
+        if (!retrieved_[e.child].has_value()) pending_data_.push_back(e.child);
+      } else {
+        frontier.push_back(e.child);
+      }
+    }
+  }
+  DrainPendingData();
+  std::vector<datasets::SpatialObject> out;
+  for (const auto& o : retrieved_) {
+    if (o.has_value() && window.Contains(o->location)) out.push_back(*o);
+  }
+  return out;
+}
+
+std::vector<datasets::SpatialObject> RtreeClient::KnnQuery(
+    const common::Point& q, size_t k) {
+  assert(k > 0);
+  const Rtree& tree = index_.tree();
+
+  // Exact candidate distances come straight from leaf entries (points).
+  struct Candidate {
+    double dist2;
+    uint32_t data_id;
+  };
+  std::vector<Candidate> candidates;
+  auto tau2 = [&]() -> double {
+    if (candidates.size() < k) return std::numeric_limits<double>::infinity();
+    return candidates[k - 1].dist2;
+  };
+  auto add_candidate = [&](double d2, uint32_t data_id) {
+    candidates.push_back(Candidate{d2, data_id});
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.dist2 != b.dist2 ? a.dist2 < b.dist2
+                                          : a.data_id < b.data_id;
+              });
+    if (candidates.size() > k) candidates.resize(k);
+  };
+
+  std::vector<uint32_t> frontier{tree.root()};
+  while (!frontier.empty()) {
+    if (WatchdogExpired()) {
+      stats_.completed = false;
+      return {};
+    }
+    // Prune frontier nodes that cannot beat the current k-th candidate.
+    std::erase_if(frontier, [&](uint32_t id) {
+      return tree.node_mbr(id).MinSquaredDistance(q) > tau2();
+    });
+    if (frontier.empty()) break;
+    const size_t i = EarliestFrontierIndex(frontier);
+    const uint32_t node = frontier[i];
+    frontier.erase(frontier.begin() + static_cast<ptrdiff_t>(i));
+    if (!ReadNode(node)) return {};
+    for (const Rtree::Entry& e : tree.entries(node)) {
+      const double mind2 = e.mbr.MinSquaredDistance(q);
+      if (mind2 > tau2()) continue;
+      if (tree.is_leaf(node)) {
+        add_candidate(mind2, e.child);
+      } else {
+        frontier.push_back(e.child);
+      }
+    }
+  }
+
+  // Fetch the answer objects' payloads.
+  for (const Candidate& c : candidates) {
+    if (!retrieved_[c.data_id].has_value()) pending_data_.push_back(c.data_id);
+  }
+  DrainPendingData();
+
+  std::vector<datasets::SpatialObject> out;
+  out.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    if (retrieved_[c.data_id].has_value()) {
+      out.push_back(*retrieved_[c.data_id]);
+    }
+  }
+  return out;
+}
+
+}  // namespace dsi::rtree

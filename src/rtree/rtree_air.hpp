@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file rtree_air.hpp
+/// \brief The R-tree baseline on the broadcast channel: STR-packed tree,
+/// distributed-index air layout, and client search whose navigation order
+/// follows the broadcast order (Section 2.1's requirement: visiting nodes
+/// out of broadcast order costs a full extra cycle).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "broadcast/air_tree.hpp"
+#include "broadcast/client.hpp"
+#include "common/geometry.hpp"
+#include "datasets/datasets.hpp"
+#include "rtree/str_pack.hpp"
+
+namespace dsi::rtree {
+
+/// Per-query diagnostics.
+struct RtreeQueryStats {
+  uint64_t nodes_read = 0;
+  uint64_t objects_read = 0;
+  uint64_t buckets_lost = 0;
+  bool completed = true;
+};
+
+/// Server-side R-tree broadcast.
+class RtreeIndex {
+ public:
+  RtreeIndex(std::vector<datasets::SpatialObject> objects,
+             size_t packet_capacity, uint32_t target_subtrees = 16,
+             broadcast::TreeLayout layout =
+                 broadcast::TreeLayout::kDistributed);
+
+  const Rtree& tree() const { return tree_; }
+  const broadcast::AirTreeBroadcast& air() const { return air_; }
+  const broadcast::BroadcastProgram& program() const {
+    return air_.program();
+  }
+  /// Objects in broadcast (STR leaf) order; data id == rank here.
+  const std::vector<datasets::SpatialObject>& str_objects() const {
+    return tree_.str_objects();
+  }
+
+ private:
+  Rtree tree_;
+  broadcast::AirTreeBroadcast air_;
+};
+
+/// One query execution against an R-tree broadcast. Both searches keep a
+/// frontier of not-yet-visited relevant nodes and always read the one whose
+/// next broadcast occurrence comes soonest (branch-and-bound adapted to the
+/// linear channel).
+class RtreeClient {
+ public:
+  RtreeClient(const RtreeIndex& index, broadcast::ClientSession* session);
+
+  std::vector<datasets::SpatialObject> WindowQuery(const common::Rect& window);
+  std::vector<datasets::SpatialObject> KnnQuery(const common::Point& q,
+                                                size_t k);
+
+  const RtreeQueryStats& stats() const { return stats_; }
+
+ private:
+  bool ReadNode(uint32_t node_id);
+  bool ReadData(uint32_t data_id);
+  /// Reads pending data buckets that pass by before the next occurrence of
+  /// \p before_node.
+  void FlushPassingData(uint32_t before_node);
+  /// Reads all remaining pending data in occurrence order.
+  void DrainPendingData();
+  /// Picks the frontier node with the soonest next occurrence; SIZE_MAX
+  /// index when the frontier is empty.
+  size_t EarliestFrontierIndex(const std::vector<uint32_t>& frontier) const;
+
+  bool WatchdogExpired() const;
+
+  const RtreeIndex& index_;
+  broadcast::ClientSession* session_;
+  /// Index nodes already downloaded this query (kept in client memory).
+  std::vector<bool> node_cache_;
+  std::vector<uint32_t> pending_data_;
+  std::vector<std::optional<datasets::SpatialObject>> retrieved_;
+  RtreeQueryStats stats_;
+  uint64_t deadline_packets_ = 0;
+};
+
+}  // namespace dsi::rtree

@@ -1,0 +1,133 @@
+#include "rtree/str_pack.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dsi::rtree {
+
+namespace {
+
+/// STR tiling of one level: groups the items (kept as indexes into a
+/// position array) into runs of size <= fanout, sorted into sqrt(P)
+/// vertical slices by x then by y within each slice.
+std::vector<std::vector<uint32_t>> StrTile(
+    const std::vector<common::Point>& centers, uint32_t fanout) {
+  const size_t n = centers.size();
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+
+  const auto pages = static_cast<size_t>(
+      std::ceil(static_cast<double>(n) / fanout));
+  const auto slices = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(pages))));
+  const size_t slice_items = slices == 0 ? n : (pages + slices - 1) / slices * fanout;
+
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return centers[a].x != centers[b].x ? centers[a].x < centers[b].x
+                                        : centers[a].y < centers[b].y;
+  });
+
+  std::vector<std::vector<uint32_t>> groups;
+  for (size_t s = 0; s * slice_items < n; ++s) {
+    const size_t lo = s * slice_items;
+    const size_t hi = std::min(n, lo + slice_items);
+    std::sort(order.begin() + static_cast<ptrdiff_t>(lo),
+              order.begin() + static_cast<ptrdiff_t>(hi),
+              [&](uint32_t a, uint32_t b) {
+                return centers[a].y != centers[b].y
+                           ? centers[a].y < centers[b].y
+                           : centers[a].x < centers[b].x;
+              });
+    for (size_t first = lo; first < hi; first += fanout) {
+      std::vector<uint32_t> group;
+      for (size_t i = first; i < std::min(hi, first + fanout); ++i) {
+        group.push_back(order[i]);
+      }
+      groups.push_back(std::move(group));
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+Rtree::Rtree(std::vector<datasets::SpatialObject> objects, uint32_t fanout)
+    : objects_(std::move(objects)) {
+  assert(!objects_.empty());
+  assert(fanout >= 2);
+
+  // Leaf level: STR-tile the points, re-order objects into leaf order.
+  std::vector<common::Point> pts;
+  pts.reserve(objects_.size());
+  for (const auto& o : objects_) pts.push_back(o.location);
+  const auto leaf_groups = StrTile(pts, fanout);
+
+  std::vector<datasets::SpatialObject> reordered;
+  reordered.reserve(objects_.size());
+  std::vector<uint32_t> level_nodes;
+  for (const auto& group : leaf_groups) {
+    const auto id = static_cast<uint32_t>(entries_.size());
+    std::vector<Entry> es;
+    common::Rect mbr = common::Rect::Empty();
+    for (uint32_t src : group) {
+      const auto data_id = static_cast<uint32_t>(reordered.size());
+      reordered.push_back(objects_[src]);
+      const common::Point& p = objects_[src].location;
+      es.push_back(Entry{common::Rect{p.x, p.y, p.x, p.y}, data_id});
+      mbr.ExpandToInclude(p);
+    }
+    entries_.push_back(std::move(es));
+    mbrs_.push_back(mbr);
+    levels_.push_back(0);
+    level_nodes.push_back(id);
+  }
+  objects_ = std::move(reordered);
+
+  // Internal levels: STR-tile the child MBR centers.
+  uint32_t level = 0;
+  while (level_nodes.size() > 1) {
+    ++level;
+    std::vector<common::Point> centers;
+    centers.reserve(level_nodes.size());
+    for (uint32_t id : level_nodes) centers.push_back(mbrs_[id].Center());
+    const auto groups = StrTile(centers, fanout);
+    std::vector<uint32_t> next;
+    for (const auto& group : groups) {
+      const auto id = static_cast<uint32_t>(entries_.size());
+      std::vector<Entry> es;
+      common::Rect mbr = common::Rect::Empty();
+      for (uint32_t local : group) {
+        const uint32_t child = level_nodes[local];
+        es.push_back(Entry{mbrs_[child], child});
+        mbr.ExpandToInclude(mbrs_[child]);
+      }
+      entries_.push_back(std::move(es));
+      mbrs_.push_back(mbr);
+      levels_.push_back(level);
+      next.push_back(id);
+    }
+    level_nodes = std::move(next);
+  }
+  root_ = level_nodes.front();
+  height_ = level;
+}
+
+broadcast::AirTreeSpec Rtree::ToAirSpec(
+    const std::vector<uint32_t>& data_sizes) const {
+  assert(data_sizes.size() == objects_.size());
+  broadcast::AirTreeSpec spec;
+  spec.nodes.resize(entries_.size());
+  for (size_t id = 0; id < entries_.size(); ++id) {
+    auto& node = spec.nodes[id];
+    node.level = levels_[id];
+    node.size_bytes = NodeBytes(static_cast<uint32_t>(id));
+    node.children.reserve(entries_[id].size());
+    for (const Entry& e : entries_[id]) node.children.push_back(e.child);
+  }
+  spec.root = root_;
+  spec.data_sizes = data_sizes;
+  return spec;
+}
+
+}  // namespace dsi::rtree

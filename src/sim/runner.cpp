@@ -1,0 +1,110 @@
+#include "sim/runner.hpp"
+
+#include "common/rng.hpp"
+
+namespace dsi::sim {
+
+namespace {
+
+/// Shared driver: for each query, draw a uniform tune-in over the cycle and
+/// a private error stream, run the query, and accumulate session metrics.
+template <typename RunQuery>
+AvgMetrics Drive(const broadcast::BroadcastProgram& program, size_t n,
+                 double theta, broadcast::ErrorMode mode, uint64_t seed,
+                 RunQuery&& run_query) {
+  common::Rng rng(seed);
+  AvgMetrics avg;
+  for (size_t i = 0; i < n; ++i) {
+    const auto tune_in = static_cast<uint64_t>(rng.UniformInt(
+        0, static_cast<int64_t>(program.cycle_packets()) - 1));
+    broadcast::ClientSession session(program, tune_in,
+                                     broadcast::ErrorModel{theta, mode}, rng.Fork());
+    const bool completed = run_query(i, &session);
+    const broadcast::Metrics m = session.metrics();
+    avg.latency_bytes += static_cast<double>(m.access_latency_bytes);
+    avg.tuning_bytes += static_cast<double>(m.tuning_bytes);
+    ++avg.queries;
+    if (!completed) ++avg.incomplete;
+  }
+  if (avg.queries > 0) {
+    avg.latency_bytes /= static_cast<double>(avg.queries);
+    avg.tuning_bytes /= static_cast<double>(avg.queries);
+  }
+  return avg;
+}
+
+}  // namespace
+
+AvgMetrics RunDsiWindow(const core::DsiIndex& index,
+                        const std::vector<common::Rect>& windows,
+                        double theta, uint64_t seed,
+                        broadcast::ErrorMode mode) {
+  return Drive(index.program(), windows.size(), theta, mode, seed,
+               [&](size_t i, broadcast::ClientSession* session) {
+                 core::DsiClient client(index, session);
+                 (void)client.WindowQuery(windows[i]);
+                 return client.stats().completed;
+               });
+}
+
+AvgMetrics RunDsiKnn(const core::DsiIndex& index,
+                     const std::vector<common::Point>& points, size_t k,
+                     core::KnnStrategy strategy, double theta, uint64_t seed,
+                        broadcast::ErrorMode mode) {
+  return Drive(index.program(), points.size(), theta, mode, seed,
+               [&](size_t i, broadcast::ClientSession* session) {
+                 core::DsiClient client(index, session);
+                 (void)client.KnnQuery(points[i], k, strategy);
+                 return client.stats().completed;
+               });
+}
+
+AvgMetrics RunRtreeWindow(const rtree::RtreeIndex& index,
+                          const std::vector<common::Rect>& windows,
+                          double theta, uint64_t seed,
+                        broadcast::ErrorMode mode) {
+  return Drive(index.program(), windows.size(), theta, mode, seed,
+               [&](size_t i, broadcast::ClientSession* session) {
+                 rtree::RtreeClient client(index, session);
+                 (void)client.WindowQuery(windows[i]);
+                 return client.stats().completed;
+               });
+}
+
+AvgMetrics RunRtreeKnn(const rtree::RtreeIndex& index,
+                       const std::vector<common::Point>& points, size_t k,
+                       double theta, uint64_t seed,
+                        broadcast::ErrorMode mode) {
+  return Drive(index.program(), points.size(), theta, mode, seed,
+               [&](size_t i, broadcast::ClientSession* session) {
+                 rtree::RtreeClient client(index, session);
+                 (void)client.KnnQuery(points[i], k);
+                 return client.stats().completed;
+               });
+}
+
+AvgMetrics RunHciWindow(const hci::HciIndex& index,
+                        const std::vector<common::Rect>& windows,
+                        double theta, uint64_t seed,
+                        broadcast::ErrorMode mode) {
+  return Drive(index.program(), windows.size(), theta, mode, seed,
+               [&](size_t i, broadcast::ClientSession* session) {
+                 hci::HciClient client(index, session);
+                 (void)client.WindowQuery(windows[i]);
+                 return client.stats().completed;
+               });
+}
+
+AvgMetrics RunHciKnn(const hci::HciIndex& index,
+                     const std::vector<common::Point>& points, size_t k,
+                     double theta, uint64_t seed,
+                        broadcast::ErrorMode mode) {
+  return Drive(index.program(), points.size(), theta, mode, seed,
+               [&](size_t i, broadcast::ClientSession* session) {
+                 hci::HciClient client(index, session);
+                 (void)client.KnnQuery(points[i], k);
+                 return client.stats().completed;
+               });
+}
+
+}  // namespace dsi::sim

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file runner.hpp
+/// \brief Experiment runner: executes query workloads against a broadcast
+/// index with uniformly random tune-in instants and averages the two paper
+/// metrics (access latency and tuning time, in bytes).
+///
+/// Every Run* function is deterministic for a given seed; each query gets a
+/// fresh client session (one query = one mobile client tuning in).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "dsi/client.hpp"
+#include "dsi/index.hpp"
+#include "hci/hci.hpp"
+#include "rtree/rtree_air.hpp"
+
+namespace dsi::sim {
+
+/// Averaged byte metrics over a workload.
+struct AvgMetrics {
+  double latency_bytes = 0.0;
+  double tuning_bytes = 0.0;
+  size_t queries = 0;
+  size_t incomplete = 0;  ///< Watchdog-aborted queries (extreme loss only).
+
+  /// Relative deterioration of this run versus a lossless baseline, in
+  /// percent (Table 1's quantity).
+  static double DeteriorationPct(double lossy, double clean) {
+    return clean == 0.0 ? 0.0 : (lossy - clean) / clean * 100.0;
+  }
+};
+
+AvgMetrics RunDsiWindow(const core::DsiIndex& index,
+                        const std::vector<common::Rect>& windows,
+                        double theta, uint64_t seed,
+    broadcast::ErrorMode mode = broadcast::ErrorMode::kPerReadLoss);
+
+AvgMetrics RunDsiKnn(const core::DsiIndex& index,
+                     const std::vector<common::Point>& points, size_t k,
+                     core::KnnStrategy strategy, double theta, uint64_t seed,
+    broadcast::ErrorMode mode = broadcast::ErrorMode::kPerReadLoss);
+
+AvgMetrics RunRtreeWindow(const rtree::RtreeIndex& index,
+                          const std::vector<common::Rect>& windows,
+                          double theta, uint64_t seed,
+    broadcast::ErrorMode mode = broadcast::ErrorMode::kPerReadLoss);
+
+AvgMetrics RunRtreeKnn(const rtree::RtreeIndex& index,
+                       const std::vector<common::Point>& points, size_t k,
+                       double theta, uint64_t seed,
+    broadcast::ErrorMode mode = broadcast::ErrorMode::kPerReadLoss);
+
+AvgMetrics RunHciWindow(const hci::HciIndex& index,
+                        const std::vector<common::Rect>& windows,
+                        double theta, uint64_t seed,
+    broadcast::ErrorMode mode = broadcast::ErrorMode::kPerReadLoss);
+
+AvgMetrics RunHciKnn(const hci::HciIndex& index,
+                     const std::vector<common::Point>& points, size_t k,
+                     double theta, uint64_t seed,
+    broadcast::ErrorMode mode = broadcast::ErrorMode::kPerReadLoss);
+
+}  // namespace dsi::sim

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file table.hpp
+/// \brief Tiny fixed-width table printer used by the bench binaries to
+/// reproduce the paper's figures as aligned text series.
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace dsi::sim {
+
+/// Prints a header row followed by data rows; the first column is left
+/// aligned, the rest right aligned with the given width.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int width = 14)
+      : headers_(std::move(headers)), width_(width) {}
+
+  void PrintHeader(std::ostream& os = std::cout) const {
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      if (i == 0) {
+        os << std::left << std::setw(width_) << headers_[i];
+      } else {
+        os << std::right << std::setw(width_) << headers_[i];
+      }
+    }
+    os << "\n";
+    os << std::string(headers_.size() * static_cast<size_t>(width_), '-')
+       << "\n";
+  }
+
+  template <typename First, typename... Rest>
+  void PrintRow(const First& first, const Rest&... rest) const {
+    const std::ios_base::fmtflags flags = std::cout.flags();
+    const std::streamsize precision = std::cout.precision();
+    std::cout << std::left << std::setw(width_) << first;
+    (PrintCell(rest), ...);
+    std::cout << "\n";
+    std::cout.flags(flags);
+    std::cout.precision(precision);
+  }
+
+ private:
+  template <typename T>
+  void PrintCell(const T& value) const {
+    std::cout << std::right << std::setw(width_) << std::fixed
+              << std::setprecision(1) << value;
+  }
+
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+}  // namespace dsi::sim

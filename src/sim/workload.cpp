@@ -1,0 +1,36 @@
+#include "sim/workload.hpp"
+
+#include "common/rng.hpp"
+
+namespace dsi::sim {
+
+std::vector<common::Rect> MakeWindowWorkload(size_t n, double win_side_ratio,
+                                             const common::Rect& universe,
+                                             uint64_t seed) {
+  common::Rng rng(seed);
+  const double side = win_side_ratio * universe.Width();
+  std::vector<common::Rect> windows;
+  windows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const common::Point c{rng.Uniform(universe.min_x, universe.max_x),
+                          rng.Uniform(universe.min_y, universe.max_y)};
+    windows.push_back(common::MakeClippedWindow(c, side, universe));
+  }
+  return windows;
+}
+
+std::vector<common::Point> MakeKnnWorkload(size_t n,
+                                           const common::Rect& universe,
+                                           uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<common::Point> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(
+        common::Point{rng.Uniform(universe.min_x, universe.max_x),
+                      rng.Uniform(universe.min_y, universe.max_y)});
+  }
+  return points;
+}
+
+}  // namespace dsi::sim

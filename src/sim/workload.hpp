@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file workload.hpp
+/// \brief Query workload generators for the evaluation: window queries with
+/// a given WinSideRatio and kNN query points, uniformly located over the
+/// universe (Section 4's setup).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace dsi::sim {
+
+/// \p n window queries of side WinSideRatio * universe side, centered
+/// uniformly at random and clipped to the universe.
+std::vector<common::Rect> MakeWindowWorkload(size_t n, double win_side_ratio,
+                                             const common::Rect& universe,
+                                             uint64_t seed);
+
+/// \p n kNN query points uniform over the universe.
+std::vector<common::Point> MakeKnnWorkload(size_t n,
+                                           const common::Rect& universe,
+                                           uint64_t seed);
+
+}  // namespace dsi::sim

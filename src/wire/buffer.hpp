@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file buffer.hpp
+/// \brief Little-endian byte writer/reader used by the on-air codecs. The
+/// simulator accounts costs from declared bucket sizes; these codecs prove
+/// the declared sizes are actually achievable by serializing and parsing
+/// every structure for real (and the examples/tests round-trip them).
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace dsi::wire {
+
+/// Appends fixed-width little-endian integers to a byte vector.
+class ByteWriter {
+ public:
+  /// Writes the low \p width bytes of \p value (little endian).
+  void WriteUint(uint64_t value, size_t width) {
+    assert(width >= 1 && width <= 8);
+    assert(width == 8 || value < (uint64_t{1} << (8 * width)));
+    for (size_t i = 0; i < width; ++i) {
+      bytes_.push_back(static_cast<uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  void WriteDouble(double value) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    WriteUint(bits, 8);
+  }
+
+  /// Zero padding (e.g. the unused high half of a 16-byte HC field).
+  void WriteZeros(size_t n) { bytes_.insert(bytes_.end(), n, 0); }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Reads fixed-width little-endian integers from a byte span.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint64_t ReadUint(size_t width) {
+    assert(width >= 1 && width <= 8);
+    if (pos_ + width > size_) {
+      ok_ = false;
+      return 0;
+    }
+    uint64_t value = 0;
+    for (size_t i = 0; i < width; ++i) {
+      value |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += width;
+    return value;
+  }
+
+  double ReadDouble() {
+    const uint64_t bits = ReadUint(8);
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  void SkipZeros(size_t n) {
+    if (pos_ + n > size_) {
+      ok_ = false;
+      return;
+    }
+    pos_ += n;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace dsi::wire

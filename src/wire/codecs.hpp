@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file codecs.hpp
+/// \brief On-air serialization of every index structure, byte-for-byte
+/// consistent with the sizes the broadcast programs declare:
+///
+///  * DSI index table: [own min-HC][m segment-head HCs][e x (HC', P)]
+///    with HC fields of DsiIndex::table_hc_bytes() and 2-byte pointers
+///    (broadcast positions);
+///  * B+-tree node: e x (16-byte HC key, 2-byte pointer) — Section 4's
+///    literal field accounting (the 64-bit key is zero-padded to 16 B);
+///  * R-tree node: e x (32-byte MBR as four doubles, 2-byte pointer);
+///  * data object: id + coordinates + opaque payload padding to 1024 B.
+///
+/// Decoding never trusts input: truncated buffers flip the reader into a
+/// failed state and the decoders return false.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bptree/bptree.hpp"
+#include "datasets/datasets.hpp"
+#include "dsi/index.hpp"
+#include "rtree/str_pack.hpp"
+#include "wire/buffer.hpp"
+
+namespace dsi::wire {
+
+// --- DSI index tables -------------------------------------------------------
+
+/// Serializes \p table with the given field widths; the result is exactly
+/// DsiIndex::table_bytes() long for the owning index.
+std::vector<uint8_t> EncodeDsiTable(const core::DsiTableView& table,
+                                    const std::vector<uint64_t>& segment_heads,
+                                    uint32_t hc_bytes);
+
+/// Inverse of EncodeDsiTable. \p num_entries and \p num_segments come from
+/// system parameters every client knows. Returns false on malformed input.
+bool DecodeDsiTable(const std::vector<uint8_t>& bytes, uint32_t hc_bytes,
+                    uint32_t num_segments, uint32_t num_entries,
+                    uint32_t position, core::DsiTableView* table,
+                    std::vector<uint64_t>* segment_heads);
+
+// --- B+-tree nodes -----------------------------------------------------------
+
+std::vector<uint8_t> EncodeBptNode(const std::vector<bptree::BptEntry>& entries);
+
+bool DecodeBptNode(const std::vector<uint8_t>& bytes,
+                   std::vector<bptree::BptEntry>* entries);
+
+// --- R-tree nodes ------------------------------------------------------------
+
+std::vector<uint8_t> EncodeRtreeNode(const std::vector<rtree::Rtree::Entry>& entries);
+
+bool DecodeRtreeNode(const std::vector<uint8_t>& bytes,
+                     std::vector<rtree::Rtree::Entry>* entries);
+
+// --- data objects ------------------------------------------------------------
+
+/// Serializes a data object into exactly common::kDataObjectBytes: 4-byte
+/// id, two 8-byte coordinates, and zero padding standing in for the
+/// payload ("a set of attribute values").
+std::vector<uint8_t> EncodeDataObject(const datasets::SpatialObject& object);
+
+bool DecodeDataObject(const std::vector<uint8_t>& bytes,
+                      datasets::SpatialObject* object);
+
+}  // namespace dsi::wire

@@ -1,0 +1,145 @@
+/// The tree baselines must answer queries exactly under every air layout
+/// ((1,m) and distributed, several replication parameters) and several
+/// packet capacities — layouts change costs, never results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "datasets/datasets.hpp"
+#include "hci/hci.hpp"
+#include "hilbert/space_mapper.hpp"
+#include "rtree/rtree_air.hpp"
+
+namespace dsi {
+namespace {
+
+using common::Point;
+using common::Rect;
+using datasets::SpatialObject;
+
+std::set<uint32_t> Ids(const std::vector<SpatialObject>& objs) {
+  std::set<uint32_t> ids;
+  for (const auto& o : objs) ids.insert(o.id);
+  return ids;
+}
+
+struct LayoutCase {
+  broadcast::TreeLayout layout;
+  uint32_t param;
+  size_t capacity;
+};
+
+class BaselineLayoutTest : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(BaselineLayoutTest, RtreeWindowExact) {
+  const auto [layout, param, capacity] = GetParam();
+  const auto objects = datasets::MakeUniform(250, datasets::UnitUniverse(), 91);
+  const rtree::RtreeIndex index(objects, capacity, param, layout);
+  common::Rng rng(17);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Point c{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const Rect w = common::MakeClippedWindow(c, 0.2,
+                                             datasets::UnitUniverse());
+    std::set<uint32_t> oracle;
+    for (const auto& o : objects) {
+      if (w.Contains(o.location)) oracle.insert(o.id);
+    }
+    broadcast::ClientSession s(
+        index.program(), static_cast<uint64_t>(rng.UniformInt(0, 1 << 26)),
+        broadcast::ErrorModel{}, common::Rng(trial + 1));
+    rtree::RtreeClient client(index, &s);
+    EXPECT_EQ(Ids(client.WindowQuery(w)), oracle);
+    EXPECT_TRUE(client.stats().completed);
+  }
+}
+
+TEST_P(BaselineLayoutTest, RtreeKnnExact) {
+  const auto [layout, param, capacity] = GetParam();
+  const auto objects = datasets::MakeUniform(250, datasets::UnitUniverse(), 92);
+  const rtree::RtreeIndex index(objects, capacity, param, layout);
+  common::Rng rng(19);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Point q{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    std::vector<double> oracle;
+    for (const auto& o : objects) {
+      oracle.push_back(common::Distance(q, o.location));
+    }
+    std::sort(oracle.begin(), oracle.end());
+    broadcast::ClientSession s(
+        index.program(), static_cast<uint64_t>(rng.UniformInt(0, 1 << 26)),
+        broadcast::ErrorModel{}, common::Rng(trial + 1));
+    rtree::RtreeClient client(index, &s);
+    const auto result = client.KnnQuery(q, 6);
+    ASSERT_EQ(result.size(), 6u);
+    std::vector<double> got;
+    for (const auto& o : result) got.push_back(common::Distance(q, o.location));
+    std::sort(got.begin(), got.end());
+    for (size_t i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(got[i], oracle[i]);
+  }
+}
+
+TEST_P(BaselineLayoutTest, HciWindowExact) {
+  const auto [layout, param, capacity] = GetParam();
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 8);
+  const auto objects = datasets::MakeUniform(250, datasets::UnitUniverse(), 93);
+  const hci::HciIndex index(objects, mapper, capacity, param, layout);
+  common::Rng rng(23);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Point c{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const Rect w = common::MakeClippedWindow(c, 0.2,
+                                             datasets::UnitUniverse());
+    std::set<uint32_t> oracle;
+    for (const auto& o : objects) {
+      if (w.Contains(o.location)) oracle.insert(o.id);
+    }
+    broadcast::ClientSession s(
+        index.program(), static_cast<uint64_t>(rng.UniformInt(0, 1 << 26)),
+        broadcast::ErrorModel{}, common::Rng(trial + 1));
+    hci::HciClient client(index, &s);
+    EXPECT_EQ(Ids(client.WindowQuery(w)), oracle);
+    EXPECT_TRUE(client.stats().completed);
+  }
+}
+
+TEST_P(BaselineLayoutTest, HciKnnExact) {
+  const auto [layout, param, capacity] = GetParam();
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 8);
+  const auto objects = datasets::MakeUniform(250, datasets::UnitUniverse(), 94);
+  const hci::HciIndex index(objects, mapper, capacity, param, layout);
+  common::Rng rng(29);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Point q{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    std::vector<double> oracle;
+    for (const auto& o : objects) {
+      oracle.push_back(common::Distance(q, o.location));
+    }
+    std::sort(oracle.begin(), oracle.end());
+    broadcast::ClientSession s(
+        index.program(), static_cast<uint64_t>(rng.UniformInt(0, 1 << 26)),
+        broadcast::ErrorModel{}, common::Rng(trial + 1));
+    hci::HciClient client(index, &s);
+    const auto result = client.KnnQuery(q, 6);
+    ASSERT_EQ(result.size(), 6u);
+    std::vector<double> got;
+    for (const auto& o : result) got.push_back(common::Distance(q, o.location));
+    std::sort(got.begin(), got.end());
+    for (size_t i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(got[i], oracle[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, BaselineLayoutTest,
+    ::testing::Values(
+        LayoutCase{broadcast::TreeLayout::kDistributed, 1, 64},
+        LayoutCase{broadcast::TreeLayout::kDistributed, 8, 64},
+        LayoutCase{broadcast::TreeLayout::kDistributed, 16, 128},
+        LayoutCase{broadcast::TreeLayout::kDistributed, 64, 256},
+        LayoutCase{broadcast::TreeLayout::kOneM, 1, 64},
+        LayoutCase{broadcast::TreeLayout::kOneM, 3, 64},
+        LayoutCase{broadcast::TreeLayout::kOneM, 8, 512}));
+
+}  // namespace
+}  // namespace dsi

@@ -1,0 +1,180 @@
+#include "broadcast/client.hpp"
+#include "broadcast/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dsi::broadcast {
+namespace {
+
+BroadcastProgram MakeSimpleProgram() {
+  // Capacity 64: [table 50B = 1 pkt][obj 1024B = 16 pkt][obj][table][obj]
+  BroadcastProgram p(64);
+  p.AddBucket(BucketKind::kDsiFrameTable, 0, 50);
+  p.AddBucket(BucketKind::kDataObject, 0, 1024);
+  p.AddBucket(BucketKind::kDataObject, 1, 1024);
+  p.AddBucket(BucketKind::kDsiFrameTable, 1, 50);
+  p.AddBucket(BucketKind::kDataObject, 2, 1024);
+  p.Finalize();
+  return p;
+}
+
+TEST(BroadcastProgramTest, PacketAccounting) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  EXPECT_EQ(p.num_buckets(), 5u);
+  EXPECT_EQ(p.bucket(0).packets, 1u);
+  EXPECT_EQ(p.bucket(1).packets, 16u);
+  EXPECT_EQ(p.cycle_packets(), 1u + 16 + 16 + 1 + 16);
+  EXPECT_EQ(p.cycle_bytes(), p.cycle_packets() * 64);
+  EXPECT_EQ(p.bucket(1).start_packet, 1u);
+  EXPECT_EQ(p.bucket(3).start_packet, 33u);
+}
+
+TEST(BroadcastProgramTest, ZeroSizeBucketOccupiesOnePacket) {
+  BroadcastProgram p(64);
+  p.AddBucket(BucketKind::kIndexNode, 0, 0);
+  p.Finalize();
+  EXPECT_EQ(p.bucket(0).packets, 1u);
+}
+
+TEST(BroadcastProgramTest, SlotAtPacket) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  EXPECT_EQ(p.SlotAtPacket(0), 0u);
+  EXPECT_EQ(p.SlotAtPacket(1), 1u);
+  EXPECT_EQ(p.SlotAtPacket(16), 1u);
+  EXPECT_EQ(p.SlotAtPacket(17), 2u);
+  EXPECT_EQ(p.SlotAtPacket(33), 3u);
+  EXPECT_EQ(p.SlotAtPacket(34), 4u);
+  EXPECT_EQ(p.SlotAtPacket(49), 4u);
+}
+
+TEST(BroadcastProgramTest, SlotStartingAtOrAfter) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  EXPECT_EQ(p.SlotStartingAtOrAfter(0), 0u);
+  EXPECT_EQ(p.SlotStartingAtOrAfter(1), 1u);
+  EXPECT_EQ(p.SlotStartingAtOrAfter(2), 2u);   // next start >= 2 is slot 2@17
+  EXPECT_EQ(p.SlotStartingAtOrAfter(17), 2u);
+  EXPECT_EQ(p.SlotStartingAtOrAfter(34), 4u);
+  EXPECT_EQ(p.SlotStartingAtOrAfter(35), 0u);  // wraps
+}
+
+TEST(ClientSessionTest, InitialProbeCostsOnePacket) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  ClientSession s(p, 0, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();
+  const Metrics m = s.metrics();
+  EXPECT_EQ(m.tuning_bytes, 64u);
+  // Tuned in at packet 0 (start of slot 0); after the sync packet the next
+  // boundary is slot 1 at packet 1.
+  EXPECT_EQ(s.current_slot(), 1u);
+  EXPECT_EQ(m.access_latency_bytes, 64u);
+}
+
+TEST(ClientSessionTest, ReadBucketAccountsTuningAndLatency) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  ClientSession s(p, 0, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();
+  EXPECT_TRUE(s.ReadBucket(1));  // 16 packets
+  const Metrics m = s.metrics();
+  EXPECT_EQ(m.tuning_bytes, (1u + 16u) * 64u);
+  EXPECT_EQ(m.access_latency_bytes, 17u * 64u);
+  EXPECT_EQ(s.current_slot(), 2u);
+}
+
+TEST(ClientSessionTest, DozeCostsLatencyNotTuning) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  ClientSession s(p, 0, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();
+  EXPECT_TRUE(s.ReadBucket(3));  // doze past slots 1-2, listen to slot 3
+  const Metrics m = s.metrics();
+  EXPECT_EQ(m.tuning_bytes, (1u + 1u) * 64u);
+  EXPECT_EQ(m.access_latency_bytes, 34u * 64u);
+}
+
+TEST(ClientSessionTest, ReadBehindWrapsToNextCycle) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  ClientSession s(p, 0, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();
+  ASSERT_TRUE(s.ReadBucket(3));  // now at slot 4 start (packet 34)
+  ASSERT_TRUE(s.ReadBucket(0));  // slot 0 next occurs at packet 50
+  EXPECT_EQ(s.now_packets(), 51u);
+  EXPECT_EQ(s.current_slot(), 1u);
+}
+
+TEST(ClientSessionTest, PacketsUntilZeroAtBoundary) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  ClientSession s(p, 0, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();
+  EXPECT_EQ(s.PacketsUntil(1), 0u);
+  EXPECT_EQ(s.PacketsUntil(3), 32u);
+  EXPECT_EQ(s.PacketsUntil(0), 49u);  // wrap
+}
+
+TEST(ClientSessionTest, SkipBucketAdvancesWithoutTuning) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  ClientSession s(p, 0, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();
+  s.SkipBucket();
+  EXPECT_EQ(s.current_slot(), 2u);
+  EXPECT_EQ(s.metrics().tuning_bytes, 64u);  // probe only
+}
+
+TEST(ClientSessionTest, TuneInMidCycle) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  // Tune in inside slot 1 (packet 5); next boundary is slot 2 at packet 17.
+  ClientSession s(p, 5, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();
+  EXPECT_EQ(s.current_slot(), 2u);
+  EXPECT_EQ(s.now_packets(), 17u);
+}
+
+TEST(ClientSessionTest, TuneInLateWrapsToSlotZero) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  // Tune in at packet 45 (inside the last bucket); next boundary wraps.
+  ClientSession s(p, 45, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();
+  EXPECT_EQ(s.current_slot(), 0u);
+  EXPECT_EQ(s.now_packets(), 50u);
+}
+
+TEST(ClientSessionTest, TuneInAcrossCycles) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  // Global packet 123 = cycle offset 23 (inside slot 2, 17..32).
+  ClientSession s(p, 123, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();
+  EXPECT_EQ(s.current_slot(), 3u);
+  EXPECT_EQ(s.now_packets(), 100u + 33u);
+}
+
+TEST(ClientSessionTest, LossyChannelStillChargesCosts) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  ClientSession s(p, 0, ErrorModel{1.0}, common::Rng(1));
+  s.InitialProbe();
+  EXPECT_FALSE(s.ReadBucket(1));
+  EXPECT_EQ(s.metrics().tuning_bytes, 17u * 64u);
+}
+
+TEST(ClientSessionTest, LossRateStatistical) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  ClientSession s(p, 0, ErrorModel{0.3}, common::Rng(42));
+  s.InitialProbe();
+  int lost = 0;
+  const int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!s.ReadBucket(s.current_slot())) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / kTrials, 0.3, 0.04);
+}
+
+TEST(ClientSessionTest, ThetaZeroNeverLoses) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  ClientSession s(p, 7, ErrorModel{0.0}, common::Rng(3));
+  s.InitialProbe();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(s.ReadBucket(s.current_slot()));
+  }
+}
+
+}  // namespace
+}  // namespace dsi::broadcast

@@ -1,0 +1,152 @@
+/// Differential fuzzing: random datasets, curve orders, packet capacities
+/// and query mixes, with the three indexes checked against a brute-force
+/// oracle and against each other. Catches integration bugs no directed
+/// test thought of.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "datasets/datasets.hpp"
+#include "dsi/client.hpp"
+#include "hci/hci.hpp"
+#include "hilbert/space_mapper.hpp"
+#include "rtree/rtree_air.hpp"
+
+namespace dsi {
+namespace {
+
+using common::Point;
+using common::Rect;
+using datasets::SpatialObject;
+
+std::set<uint32_t> Ids(const std::vector<SpatialObject>& objs) {
+  std::set<uint32_t> ids;
+  for (const auto& o : objs) ids.insert(o.id);
+  return ids;
+}
+
+class DifferentialFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialFuzzTest, AllIndexesMatchOracle) {
+  const uint64_t seed = GetParam();
+  common::Rng rng(seed);
+
+  // Random instance.
+  const auto n = static_cast<size_t>(rng.UniformInt(40, 600));
+  const int order = static_cast<int>(rng.UniformInt(5, 9));
+  const size_t capacities[] = {64, 128, 256, 512};
+  const size_t capacity =
+      capacities[static_cast<size_t>(rng.UniformInt(0, 3))];
+  const bool clustered = rng.Bernoulli(0.4);
+  const auto objects =
+      clustered ? datasets::MakeClustered(
+                      n, static_cast<size_t>(rng.UniformInt(2, 12)),
+                      rng.Uniform(0.005, 0.05), rng.Uniform(0.0, 0.3),
+                      datasets::UnitUniverse(), seed * 3 + 1)
+                : datasets::MakeUniform(n, datasets::UnitUniverse(),
+                                        seed * 3 + 1);
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), order);
+
+  core::DsiConfig cfg;
+  cfg.num_segments = static_cast<uint32_t>(rng.UniformInt(1, 3));
+  cfg.object_factor = rng.Bernoulli(0.3)
+                          ? static_cast<uint32_t>(rng.UniformInt(2, 8))
+                          : 1;
+  const core::DsiIndex dsi(objects, mapper, capacity, cfg);
+  const rtree::RtreeIndex rt(objects, capacity);
+  const hci::HciIndex hci(objects, mapper, capacity);
+
+  const double theta = rng.Bernoulli(0.3) ? rng.Uniform(0.05, 0.4) : 0.0;
+
+  // Window queries.
+  for (int trial = 0; trial < 3; ++trial) {
+    const Point c{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const Rect w = common::MakeClippedWindow(c, rng.Uniform(0.02, 0.5),
+                                             datasets::UnitUniverse());
+    std::set<uint32_t> oracle;
+    for (const auto& o : objects) {
+      if (w.Contains(o.location)) oracle.insert(o.id);
+    }
+    const auto tune_in = static_cast<uint64_t>(rng.UniformInt(0, 1 << 26));
+    {
+      broadcast::ClientSession s(dsi.program(), tune_in,
+                                 broadcast::ErrorModel{theta},
+                                 common::Rng(seed + 11));
+      core::DsiClient c1(dsi, &s);
+      EXPECT_EQ(Ids(c1.WindowQuery(w)), oracle)
+          << "dsi seed=" << seed << " n=" << n << " order=" << order;
+    }
+    {
+      broadcast::ClientSession s(rt.program(), tune_in,
+                                 broadcast::ErrorModel{theta},
+                                 common::Rng(seed + 12));
+      rtree::RtreeClient c2(rt, &s);
+      EXPECT_EQ(Ids(c2.WindowQuery(w)), oracle) << "rtree seed=" << seed;
+    }
+    {
+      broadcast::ClientSession s(hci.program(), tune_in,
+                                 broadcast::ErrorModel{theta},
+                                 common::Rng(seed + 13));
+      hci::HciClient c3(hci, &s);
+      EXPECT_EQ(Ids(c3.WindowQuery(w)), oracle) << "hci seed=" << seed;
+    }
+  }
+
+  // kNN queries (distance multiset comparison; ties may swap ids).
+  for (int trial = 0; trial < 2; ++trial) {
+    const Point q{rng.Uniform(-0.1, 1.1), rng.Uniform(-0.1, 1.1)};
+    const auto k = static_cast<size_t>(rng.UniformInt(1, 12));
+    std::vector<double> oracle;
+    for (const auto& o : objects) {
+      oracle.push_back(common::Distance(q, o.location));
+    }
+    std::sort(oracle.begin(), oracle.end());
+    oracle.resize(std::min(k, oracle.size()));
+    auto check = [&](std::vector<SpatialObject> result, const char* name) {
+      ASSERT_EQ(result.size(), oracle.size())
+          << name << " seed=" << seed << " k=" << k;
+      std::vector<double> got;
+      for (const auto& o : result) {
+        got.push_back(common::Distance(q, o.location));
+      }
+      std::sort(got.begin(), got.end());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_DOUBLE_EQ(got[i], oracle[i]) << name << " seed=" << seed;
+      }
+    };
+    const auto tune_in = static_cast<uint64_t>(rng.UniformInt(0, 1 << 26));
+    const auto strategy = rng.Bernoulli(0.5)
+                              ? core::KnnStrategy::kConservative
+                              : core::KnnStrategy::kAggressive;
+    {
+      broadcast::ClientSession s(dsi.program(), tune_in,
+                                 broadcast::ErrorModel{theta},
+                                 common::Rng(seed + 21));
+      core::DsiClient c1(dsi, &s);
+      check(c1.KnnQuery(q, k, strategy), "dsi");
+    }
+    {
+      broadcast::ClientSession s(rt.program(), tune_in,
+                                 broadcast::ErrorModel{theta},
+                                 common::Rng(seed + 22));
+      rtree::RtreeClient c2(rt, &s);
+      check(c2.KnnQuery(q, k), "rtree");
+    }
+    {
+      broadcast::ClientSession s(hci.program(), tune_in,
+                                 broadcast::ErrorModel{theta},
+                                 common::Rng(seed + 23));
+      hci::HciClient c3(hci, &s);
+      check(c3.KnnQuery(q, k), "hci");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzzTest,
+                         ::testing::Range<uint64_t>(1, 49));
+
+}  // namespace
+}  // namespace dsi

@@ -1,0 +1,107 @@
+#include "dsi/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dsi::core {
+namespace {
+
+TEST(ReorgLayoutTest, IdentityWhenSingleSegment) {
+  const ReorgLayout l(10, 1);
+  for (uint32_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(l.RankToPosition(r), r);
+    EXPECT_EQ(l.PositionToRank(r), r);
+    EXPECT_EQ(l.SegmentOfPosition(r), 0u);
+    EXPECT_EQ(l.OffsetOfPosition(r), r);
+  }
+}
+
+TEST(ReorgLayoutTest, PaperFigure7TwoSegments) {
+  // 8 frames, m = 2: broadcast order interleaves ranks 0..3 and 4..7 as
+  // 0,4,1,5,2,6,3,7 (paper: O6 O32 O11 O40 O17 O51 O27 O61).
+  const ReorgLayout l(8, 2);
+  const std::vector<uint32_t> expect_rank_at_pos{0, 4, 1, 5, 2, 6, 3, 7};
+  for (uint32_t pos = 0; pos < 8; ++pos) {
+    EXPECT_EQ(l.PositionToRank(pos), expect_rank_at_pos[pos]);
+    EXPECT_EQ(l.RankToPosition(expect_rank_at_pos[pos]), pos);
+  }
+}
+
+TEST(ReorgLayoutTest, SegmentBoundaries) {
+  const ReorgLayout l(10, 3);  // lengths 4, 3, 3
+  EXPECT_EQ(l.SegmentLength(0), 4u);
+  EXPECT_EQ(l.SegmentLength(1), 3u);
+  EXPECT_EQ(l.SegmentLength(2), 3u);
+  EXPECT_EQ(l.SegmentStartRank(0), 0u);
+  EXPECT_EQ(l.SegmentStartRank(1), 4u);
+  EXPECT_EQ(l.SegmentStartRank(2), 7u);
+  EXPECT_EQ(l.SegmentStartRank(3), 10u);
+}
+
+class ReorgLayoutParamTest
+    : public ::testing::TestWithParam<std::pair<uint32_t, uint32_t>> {};
+
+TEST_P(ReorgLayoutParamTest, BijectionAndConsistency) {
+  const auto [n, m] = GetParam();
+  const ReorgLayout l(n, m);
+  std::set<uint32_t> positions;
+  for (uint32_t rank = 0; rank < n; ++rank) {
+    const uint32_t pos = l.RankToPosition(rank);
+    ASSERT_LT(pos, n);
+    positions.insert(pos);
+    ASSERT_EQ(l.PositionToRank(pos), rank);
+    // Segment/offset decomposition round-trips.
+    const uint32_t s = l.SegmentOfRank(rank);
+    const uint32_t off = l.OffsetOfRank(rank);
+    ASSERT_LT(s, l.m);
+    ASSERT_LT(off, l.SegmentLength(s));
+    ASSERT_EQ(l.PositionOf(s, off), pos);
+    ASSERT_EQ(l.SegmentOfPosition(pos), s);
+    ASSERT_EQ(l.OffsetOfPosition(pos), off);
+    ASSERT_EQ(l.SegmentStartRank(s) + off, rank);
+  }
+  EXPECT_EQ(positions.size(), n);
+}
+
+TEST_P(ReorgLayoutParamTest, WithinSegmentPositionOrderMatchesRankOrder) {
+  const auto [n, m] = GetParam();
+  const ReorgLayout l(n, m);
+  for (uint32_t s = 0; s < l.m; ++s) {
+    uint32_t prev = 0;
+    for (uint32_t off = 0; off < l.SegmentLength(s); ++off) {
+      const uint32_t pos = l.PositionOf(s, off);
+      if (off > 0) {
+        EXPECT_GT(pos, prev);
+      }
+      prev = pos;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReorgLayoutParamTest,
+    ::testing::Values(std::pair<uint32_t, uint32_t>{1, 1},
+                      std::pair<uint32_t, uint32_t>{7, 1},
+                      std::pair<uint32_t, uint32_t>{8, 2},
+                      std::pair<uint32_t, uint32_t>{9, 2},
+                      std::pair<uint32_t, uint32_t>{10, 3},
+                      std::pair<uint32_t, uint32_t>{11, 4},
+                      std::pair<uint32_t, uint32_t>{12, 5},
+                      std::pair<uint32_t, uint32_t>{100, 7},
+                      std::pair<uint32_t, uint32_t>{10000, 2},
+                      std::pair<uint32_t, uint32_t>{5, 8}));
+
+TEST(ReorgLayoutTest, MoreSegmentsThanFramesClamps) {
+  const ReorgLayout l(5, 8);
+  EXPECT_EQ(l.m, 5u);
+}
+
+TEST(ReorgLayoutTest, ZeroSegmentsClampsToOne) {
+  const ReorgLayout l(5, 0);
+  EXPECT_EQ(l.m, 1u);
+}
+
+}  // namespace
+}  // namespace dsi::core

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "broadcast/client.hpp"
+#include "broadcast/program.hpp"
+#include "common/rng.hpp"
+
+namespace dsi::broadcast {
+namespace {
+
+BroadcastProgram MakeProgram(size_t buckets) {
+  BroadcastProgram p(64);
+  for (size_t i = 0; i < buckets; ++i) {
+    p.AddBucket(BucketKind::kDataObject, static_cast<uint32_t>(i), 64);
+  }
+  p.Finalize();
+  return p;
+}
+
+TEST(SingleEventErrorTest, ThetaZeroNeverTriggers) {
+  const BroadcastProgram p = MakeProgram(50);
+  ClientSession s(p, 3, ErrorModel{0.0, ErrorMode::kSingleEvent},
+                  common::Rng(1));
+  s.InitialProbe();
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(s.ReadBucket(s.current_slot()));
+  }
+}
+
+TEST(SingleEventErrorTest, ThetaOneTriggersExactlyOnce) {
+  const BroadcastProgram p = MakeProgram(50);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ClientSession s(p, seed * 7, ErrorModel{1.0, ErrorMode::kSingleEvent},
+                    common::Rng(seed));
+    s.InitialProbe();
+    int losses = 0;
+    // Read well past one full cycle so the event must have fired.
+    for (int i = 0; i < 200; ++i) {
+      if (!s.ReadBucket(s.current_slot())) ++losses;
+    }
+    EXPECT_EQ(losses, 1) << "seed " << seed;
+  }
+}
+
+TEST(SingleEventErrorTest, EventRateMatchesTheta) {
+  const BroadcastProgram p = MakeProgram(50);
+  const double theta = 0.4;
+  int triggered = 0;
+  const int kSessions = 1000;
+  for (int i = 0; i < kSessions; ++i) {
+    ClientSession s(p, static_cast<uint64_t>(i),
+                    ErrorModel{theta, ErrorMode::kSingleEvent},
+                    common::Rng(static_cast<uint64_t>(i) + 100));
+    s.InitialProbe();
+    for (int r = 0; r < 120; ++r) {
+      if (!s.ReadBucket(s.current_slot())) {
+        ++triggered;
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(triggered) / kSessions, theta, 0.05);
+}
+
+TEST(SingleEventErrorTest, ShortQueriesCanMissTheEvent) {
+  // A query that ends before the event instant never observes it: the
+  // per-query loss probability is at most theta.
+  const BroadcastProgram p = MakeProgram(1000);  // long cycle
+  int losses = 0;
+  const int kSessions = 400;
+  for (int i = 0; i < kSessions; ++i) {
+    ClientSession s(p, static_cast<uint64_t>(i * 13),
+                    ErrorModel{1.0, ErrorMode::kSingleEvent},
+                    common::Rng(static_cast<uint64_t>(i) + 1));
+    s.InitialProbe();
+    // Read a short prefix of the cycle: the event (uniform over the whole
+    // cycle) usually lands later and is never observed.
+    for (int r = 0; r < 30; ++r) {
+      if (!s.ReadBucket(s.current_slot())) {
+        ++losses;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(losses, 0);
+  EXPECT_LT(losses, kSessions / 4);
+}
+
+TEST(PerReadErrorTest, IndependentAcrossReads) {
+  const BroadcastProgram p = MakeProgram(50);
+  ClientSession s(p, 0, ErrorModel{0.5, ErrorMode::kPerReadLoss},
+                  common::Rng(11));
+  s.InitialProbe();
+  // Runs of successes and failures both occur.
+  int transitions = 0;
+  bool prev = s.ReadBucket(s.current_slot());
+  for (int i = 0; i < 300; ++i) {
+    const bool cur = s.ReadBucket(s.current_slot());
+    if (cur != prev) ++transitions;
+    prev = cur;
+  }
+  EXPECT_GT(transitions, 100);  // ~150 expected for iid 0.5
+}
+
+TEST(ErrorModelTest, DefaultIsPerRead) {
+  const ErrorModel m{0.3};
+  EXPECT_EQ(m.mode, ErrorMode::kPerReadLoss);
+}
+
+}  // namespace
+}  // namespace dsi::broadcast

@@ -1,0 +1,101 @@
+/// Section 5 qualitative checks: all indexes deteriorate as theta grows,
+/// queries stay exact, and DSI recovers more cheaply than the tree indexes.
+
+#include <gtest/gtest.h>
+
+#include "datasets/datasets.hpp"
+#include "hilbert/space_mapper.hpp"
+#include "sim/runner.hpp"
+#include "sim/workload.hpp"
+
+namespace dsi {
+namespace {
+
+class ResilienceFixture : public ::testing::Test {
+ protected:
+  ResilienceFixture()
+      : mapper_(datasets::UnitUniverse(), 9),
+        objects_(datasets::MakeUniform(1000, datasets::UnitUniverse(), 77)),
+        dsi_(objects_, mapper_, 64, MakeDsiConfig()),
+        rtree_(objects_, 64),
+        hci_(objects_, mapper_, 64),
+        windows_(sim::MakeWindowWorkload(12, 0.1, datasets::UnitUniverse(),
+                                         21)) {}
+
+  static core::DsiConfig MakeDsiConfig() {
+    core::DsiConfig c;
+    c.num_segments = 2;
+    return c;
+  }
+
+  hilbert::SpaceMapper mapper_;
+  std::vector<datasets::SpatialObject> objects_;
+  core::DsiIndex dsi_;
+  rtree::RtreeIndex rtree_;
+  hci::HciIndex hci_;
+  std::vector<common::Rect> windows_;
+};
+
+TEST_F(ResilienceFixture, LatencyDeterioratesMonotonicallyInTheta) {
+  double prev_dsi = 0.0, prev_rtree = 0.0, prev_hci = 0.0;
+  for (const double theta : {0.0, 0.2, 0.5}) {
+    const auto d = sim::RunDsiWindow(dsi_, windows_, theta, 31);
+    const auto r = sim::RunRtreeWindow(rtree_, windows_, theta, 31);
+    const auto h = sim::RunHciWindow(hci_, windows_, theta, 31);
+    EXPECT_EQ(d.incomplete, 0u);
+    EXPECT_EQ(r.incomplete, 0u);
+    EXPECT_EQ(h.incomplete, 0u);
+    EXPECT_GE(d.latency_bytes, prev_dsi * 0.95);  // allow sampling noise
+    EXPECT_GE(r.latency_bytes, prev_rtree * 0.95);
+    EXPECT_GE(h.latency_bytes, prev_hci * 0.95);
+    prev_dsi = d.latency_bytes;
+    prev_rtree = r.latency_bytes;
+    prev_hci = h.latency_bytes;
+  }
+}
+
+TEST_F(ResilienceFixture, DsiDeterioratesLessThanTreesAtHighTheta) {
+  // Table 1's qualitative claim: at theta = 0.5 the tree indexes lose a
+  // larger fraction of their lossless performance than DSI does. Uses the
+  // paper-calibrated single-event error model (see ErrorMode).
+  const double theta = 0.5;
+  constexpr auto kMode = broadcast::ErrorMode::kSingleEvent;
+  const auto d0 = sim::RunDsiWindow(dsi_, windows_, 0.0, 37, kMode);
+  const auto d1 = sim::RunDsiWindow(dsi_, windows_, theta, 37, kMode);
+  const auto r0 = sim::RunRtreeWindow(rtree_, windows_, 0.0, 37, kMode);
+  const auto r1 = sim::RunRtreeWindow(rtree_, windows_, theta, 37, kMode);
+  const auto h0 = sim::RunHciWindow(hci_, windows_, 0.0, 37, kMode);
+  const auto h1 = sim::RunHciWindow(hci_, windows_, theta, 37, kMode);
+  const double dsi_det =
+      sim::AvgMetrics::DeteriorationPct(d1.latency_bytes, d0.latency_bytes);
+  const double rtree_det =
+      sim::AvgMetrics::DeteriorationPct(r1.latency_bytes, r0.latency_bytes);
+  const double hci_det =
+      sim::AvgMetrics::DeteriorationPct(h1.latency_bytes, h0.latency_bytes);
+  EXPECT_LT(dsi_det, rtree_det);
+  EXPECT_LT(dsi_det, hci_det);
+}
+
+TEST_F(ResilienceFixture, KnnSurvivesHighLossPerRead) {
+  // Even under the harsh per-read loss model DSI kNN completes exactly.
+  const auto points = sim::MakeKnnWorkload(8, datasets::UnitUniverse(), 41);
+  const auto d = sim::RunDsiKnn(dsi_, points, 10,
+                                core::KnnStrategy::kConservative, 0.7, 43);
+  EXPECT_EQ(d.incomplete, 0u);
+}
+
+TEST_F(ResilienceFixture, KnnSurvivesHighLossSingleEvent) {
+  const auto points = sim::MakeKnnWorkload(8, datasets::UnitUniverse(), 41);
+  constexpr auto kMode = broadcast::ErrorMode::kSingleEvent;
+  const auto d = sim::RunDsiKnn(dsi_, points, 10,
+                                core::KnnStrategy::kConservative, 0.7, 43,
+                                kMode);
+  EXPECT_EQ(d.incomplete, 0u);
+  const auto h = sim::RunHciKnn(hci_, points, 10, 0.7, 43, kMode);
+  EXPECT_EQ(h.incomplete, 0u);
+  const auto r = sim::RunRtreeKnn(rtree_, points, 10, 0.7, 43, kMode);
+  EXPECT_EQ(r.incomplete, 0u);
+}
+
+}  // namespace
+}  // namespace dsi

@@ -1,0 +1,194 @@
+#include "hci/hci.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "datasets/datasets.hpp"
+
+namespace dsi::hci {
+namespace {
+
+using common::Point;
+using common::Rect;
+using datasets::SpatialObject;
+
+std::set<uint32_t> Ids(const std::vector<SpatialObject>& objs) {
+  std::set<uint32_t> ids;
+  for (const auto& o : objs) ids.insert(o.id);
+  return ids;
+}
+
+struct Fixture {
+  explicit Fixture(size_t n, uint64_t seed = 7, int order = 8,
+                   size_t capacity = 64)
+      : mapper(datasets::UnitUniverse(), order),
+        index(datasets::MakeUniform(n, datasets::UnitUniverse(), seed),
+              mapper, capacity) {}
+
+  broadcast::ClientSession MakeSession(uint64_t tune_in, double theta = 0.0,
+                                       uint64_t seed = 1) {
+    return broadcast::ClientSession(index.program(), tune_in,
+                                    broadcast::ErrorModel{theta},
+                                    common::Rng(seed));
+  }
+
+  std::set<uint32_t> OracleWindow(const Rect& w) const {
+    std::set<uint32_t> ids;
+    for (const auto& o : index.sorted_objects()) {
+      if (w.Contains(o.location)) ids.insert(o.id);
+    }
+    return ids;
+  }
+
+  std::vector<double> OracleKnnDists(const Point& q, size_t k) const {
+    std::vector<double> d;
+    for (const auto& o : index.sorted_objects()) {
+      d.push_back(common::Distance(q, o.location));
+    }
+    std::sort(d.begin(), d.end());
+    d.resize(std::min(k, d.size()));
+    return d;
+  }
+
+  hilbert::SpaceMapper mapper;
+  HciIndex index;
+};
+
+TEST(HciIndexTest, ObjectsSortedByHilbertValue) {
+  Fixture f(300);
+  const auto& objs = f.index.sorted_objects();
+  for (size_t i = 1; i < objs.size(); ++i) {
+    EXPECT_LE(f.index.object_hc(i - 1), f.index.object_hc(i));
+  }
+  EXPECT_EQ(f.index.tree().num_keys(), 300u);
+}
+
+TEST(HciIndexTest, TreeKeysMatchObjectHcs) {
+  Fixture f(100);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(f.index.object_hc(i),
+              f.mapper.PointToIndex(f.index.sorted_objects()[i].location));
+  }
+}
+
+TEST(HciWindowQueryTest, MatchesOracle) {
+  Fixture f(400);
+  common::Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Point c{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const Rect w = common::MakeClippedWindow(c, rng.Uniform(0.05, 0.25),
+                                             datasets::UnitUniverse());
+    auto session = f.MakeSession(
+        static_cast<uint64_t>(rng.UniformInt(0, 1 << 28)));
+    HciClient client(f.index, &session);
+    const auto result = client.WindowQuery(w);
+    EXPECT_TRUE(client.stats().completed);
+    EXPECT_EQ(Ids(result), f.OracleWindow(w));
+  }
+}
+
+TEST(HciWindowQueryTest, EmptyWindow) {
+  Fixture f(50);
+  auto session = f.MakeSession(3);
+  HciClient client(f.index, &session);
+  const auto result = client.WindowQuery(Rect{0.001, 0.001, 0.002, 0.002});
+  EXPECT_TRUE(client.stats().completed);
+  // May legitimately retrieve boundary-cell objects but returns only
+  // window members.
+  for (const auto& o : result) {
+    EXPECT_TRUE((Rect{0.001, 0.001, 0.002, 0.002}).Contains(o.location));
+  }
+}
+
+TEST(HciKnnQueryTest, MatchesOracleDistances) {
+  Fixture f(400);
+  common::Rng rng(23);
+  for (size_t k : {1u, 5u, 10u}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const Point q{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+      auto session = f.MakeSession(
+          static_cast<uint64_t>(rng.UniformInt(0, 1 << 28)));
+      HciClient client(f.index, &session);
+      const auto result = client.KnnQuery(q, k);
+      EXPECT_TRUE(client.stats().completed);
+      ASSERT_EQ(result.size(), k);
+      std::vector<double> got;
+      for (const auto& o : result) {
+        got.push_back(common::Distance(q, o.location));
+      }
+      std::sort(got.begin(), got.end());
+      const auto want = f.OracleKnnDists(q, k);
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_DOUBLE_EQ(got[i], want[i]);
+      }
+    }
+  }
+}
+
+TEST(HciKnnQueryTest, KLargerThanDataset) {
+  Fixture f(15);
+  auto session = f.MakeSession(9);
+  HciClient client(f.index, &session);
+  EXPECT_EQ(client.KnnQuery(Point{0.3, 0.3}, 30).size(), 15u);
+}
+
+TEST(HciLossTest, WindowQueryExactUnderLinkErrors) {
+  Fixture f(200);
+  common::Rng rng(25);
+  for (double theta : {0.2, 0.5}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const Point c{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+      const Rect w = common::MakeClippedWindow(c, 0.2,
+                                               datasets::UnitUniverse());
+      auto session = f.MakeSession(trial * 777, theta, trial + 5);
+      HciClient client(f.index, &session);
+      const auto result = client.WindowQuery(w);
+      EXPECT_TRUE(client.stats().completed);
+      EXPECT_EQ(Ids(result), f.OracleWindow(w));
+    }
+  }
+}
+
+TEST(HciLossTest, LossCostsMoreThanClean) {
+  Fixture f(200);
+  common::Rng rng(27);
+  uint64_t clean = 0, lossy = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const Point c{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const Rect w = common::MakeClippedWindow(c, 0.15,
+                                             datasets::UnitUniverse());
+    const auto tune_in = static_cast<uint64_t>(rng.UniformInt(0, 1 << 28));
+    {
+      auto session = f.MakeSession(tune_in, 0.0, trial + 1);
+      HciClient client(f.index, &session);
+      (void)client.WindowQuery(w);
+      clean += session.metrics().access_latency_bytes;
+    }
+    {
+      auto session = f.MakeSession(tune_in, 0.5, trial + 1);
+      HciClient client(f.index, &session);
+      (void)client.WindowQuery(w);
+      lossy += session.metrics().access_latency_bytes;
+    }
+  }
+  EXPECT_GT(lossy, clean);
+}
+
+TEST(HciCapacitySweepTest, WorksAcrossPacketCapacities) {
+  for (size_t capacity : {32u, 64u, 128u, 256u, 512u}) {
+    Fixture f(150, 7, 8, capacity);
+    auto session = f.MakeSession(11);
+    HciClient client(f.index, &session);
+    const Rect w = common::MakeClippedWindow(Point{0.5, 0.5}, 0.2,
+                                             datasets::UnitUniverse());
+    const auto result = client.WindowQuery(w);
+    EXPECT_TRUE(client.stats().completed) << "capacity " << capacity;
+    EXPECT_EQ(Ids(result), f.OracleWindow(w)) << "capacity " << capacity;
+  }
+}
+
+}  // namespace
+}  // namespace dsi::hci

@@ -1,0 +1,128 @@
+#include "hilbert/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace dsi::hilbert {
+namespace {
+
+TEST(IntervalSetTest, EmptySet) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Intersects({0, 100}));
+  EXPECT_FALSE(s.Covers({5, 5}));
+}
+
+TEST(IntervalSetTest, AddDisjoint) {
+  IntervalSet s;
+  s.Add({10, 20});
+  s.Add({30, 40});
+  ASSERT_EQ(s.ranges().size(), 2u);
+  EXPECT_TRUE(s.Covers({10, 20}));
+  EXPECT_TRUE(s.Covers({35, 40}));
+  EXPECT_FALSE(s.Covers({10, 30}));
+  EXPECT_FALSE(s.Intersects({21, 29}));
+  EXPECT_TRUE(s.Intersects({20, 30}));
+}
+
+TEST(IntervalSetTest, AddMergesAdjacent) {
+  IntervalSet s;
+  s.Add({10, 20});
+  s.Add({21, 30});
+  ASSERT_EQ(s.ranges().size(), 1u);
+  EXPECT_EQ(s.ranges()[0], (HcRange{10, 30}));
+}
+
+TEST(IntervalSetTest, AddMergesOverlappingSpanningMultiple) {
+  IntervalSet s;
+  s.Add({0, 5});
+  s.Add({10, 15});
+  s.Add({20, 25});
+  s.Add({4, 22});
+  ASSERT_EQ(s.ranges().size(), 1u);
+  EXPECT_EQ(s.ranges()[0], (HcRange{0, 25}));
+}
+
+TEST(IntervalSetTest, AddContainedIsNoop) {
+  IntervalSet s;
+  s.Add({0, 100});
+  s.Add({10, 20});
+  ASSERT_EQ(s.ranges().size(), 1u);
+  EXPECT_EQ(s.ranges()[0], (HcRange{0, 100}));
+}
+
+TEST(IntervalSetTest, SubtractBasics) {
+  IntervalSet s;
+  s.Add({10, 20});
+  const auto rem = s.Subtract({{0, 30}});
+  ASSERT_EQ(rem.size(), 2u);
+  EXPECT_EQ(rem[0], (HcRange{0, 9}));
+  EXPECT_EQ(rem[1], (HcRange{21, 30}));
+}
+
+TEST(IntervalSetTest, SubtractFullyCovered) {
+  IntervalSet s;
+  s.Add({0, 100});
+  EXPECT_TRUE(s.Subtract({{10, 20}, {50, 60}}).empty());
+}
+
+TEST(IntervalSetTest, SubtractUntouched) {
+  IntervalSet s;
+  s.Add({100, 200});
+  const auto rem = s.Subtract({{0, 50}});
+  ASSERT_EQ(rem.size(), 1u);
+  EXPECT_EQ(rem[0], (HcRange{0, 50}));
+}
+
+TEST(IntervalSetTest, SubtractEdgeTouching) {
+  IntervalSet s;
+  s.Add({10, 20});
+  const auto rem = s.Subtract({{20, 25}});
+  ASSERT_EQ(rem.size(), 1u);
+  EXPECT_EQ(rem[0], (HcRange{21, 25}));
+}
+
+// Randomized property check against a per-point oracle.
+TEST(IntervalSetTest, RandomizedMatchesPointOracle) {
+  common::Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    IntervalSet s;
+    std::set<uint64_t> oracle;
+    for (int i = 0; i < 40; ++i) {
+      const auto lo = static_cast<uint64_t>(rng.UniformInt(0, 180));
+      const auto hi = lo + static_cast<uint64_t>(rng.UniformInt(0, 15));
+      s.Add({lo, hi});
+      for (uint64_t v = lo; v <= hi; ++v) oracle.insert(v);
+    }
+    // Invariant: ranges sorted, disjoint, non-adjacent.
+    const auto& rs = s.ranges();
+    for (size_t i = 1; i < rs.size(); ++i) {
+      ASSERT_GT(rs[i].lo, rs[i - 1].hi + 1);
+    }
+    // Point-wise agreement on [0, 200].
+    for (uint64_t v = 0; v <= 200; ++v) {
+      EXPECT_EQ(s.Covers({v, v}), oracle.count(v) == 1) << "at " << v;
+      EXPECT_EQ(s.Intersects({v, v}), oracle.count(v) == 1);
+    }
+    // Subtract agreement on random targets.
+    for (int i = 0; i < 10; ++i) {
+      const auto lo = static_cast<uint64_t>(rng.UniformInt(0, 180));
+      const auto hi = lo + static_cast<uint64_t>(rng.UniformInt(0, 30));
+      const auto rem = s.Subtract({{lo, hi}});
+      std::set<uint64_t> rem_points;
+      for (const auto& r : rem) {
+        for (uint64_t v = r.lo; v <= r.hi; ++v) rem_points.insert(v);
+      }
+      for (uint64_t v = lo; v <= hi; ++v) {
+        EXPECT_EQ(rem_points.count(v) == 1, oracle.count(v) == 0)
+            << "subtract at " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsi::hilbert

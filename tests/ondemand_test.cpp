@@ -1,0 +1,87 @@
+#include "ondemand/ondemand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dsi::ondemand {
+namespace {
+
+TEST(OnDemandQueueTest, EmptyArrivals) {
+  const OnDemandStats s = SimulateQueue({}, OnDemandConfig{});
+  EXPECT_EQ(s.queries, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_latency_bytes, 0.0);
+}
+
+TEST(OnDemandQueueTest, SingleQueryNoWait) {
+  OnDemandConfig cfg;
+  cfg.request_bytes = 10;
+  cfg.processing_bytes = 100;
+  cfg.per_result_bytes = 50;
+  const OnDemandStats s = SimulateQueue({{5.0, 2}}, cfg);
+  EXPECT_EQ(s.queries, 1u);
+  // latency = request 10 + processing 100 + 2*50 downlink.
+  EXPECT_DOUBLE_EQ(s.mean_latency_bytes, 10.0 + 100.0 + 100.0);
+  EXPECT_DOUBLE_EQ(s.mean_queue_wait_bytes, 0.0);
+}
+
+TEST(OnDemandQueueTest, BackToBackQueriesQueue) {
+  OnDemandConfig cfg;
+  cfg.request_bytes = 0;
+  cfg.processing_bytes = 100;
+  cfg.per_result_bytes = 0;
+  // Two arrivals at t=0: the second waits for the first.
+  const OnDemandStats s = SimulateQueue({{0.0, 0}, {0.0, 0}}, cfg);
+  EXPECT_DOUBLE_EQ(s.mean_latency_bytes, (100.0 + 200.0) / 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_queue_wait_bytes, 50.0);
+  EXPECT_DOUBLE_EQ(s.utilization, 1.0);
+}
+
+TEST(OnDemandQueueTest, IdleServerBetweenSparseArrivals) {
+  OnDemandConfig cfg;
+  cfg.request_bytes = 0;
+  cfg.processing_bytes = 10;
+  cfg.per_result_bytes = 0;
+  const OnDemandStats s =
+      SimulateQueue({{0.0, 0}, {1000.0, 0}}, cfg);
+  EXPECT_DOUBLE_EQ(s.mean_latency_bytes, 10.0);
+  EXPECT_LT(s.utilization, 0.05);
+}
+
+TEST(PoissonArrivalsTest, RateControlsCount) {
+  common::Rng rng(1);
+  const auto sparse = MakePoissonArrivals(1e-4, 1e6, 1, 1, &rng);
+  const auto dense = MakePoissonArrivals(1e-3, 1e6, 1, 1, &rng);
+  // ~100 vs ~1000 expected.
+  EXPECT_GT(sparse.size(), 60u);
+  EXPECT_LT(sparse.size(), 160u);
+  EXPECT_GT(dense.size(), 850u);
+  EXPECT_LT(dense.size(), 1150u);
+  for (size_t i = 1; i < dense.size(); ++i) {
+    EXPECT_GE(dense[i].time, dense[i - 1].time);
+  }
+}
+
+TEST(PoissonArrivalsTest, ResultCardinalityBounds) {
+  common::Rng rng(2);
+  const auto arrivals = MakePoissonArrivals(1e-3, 1e6, 3, 9, &rng);
+  for (const auto& a : arrivals) {
+    EXPECT_GE(a.result_objects, 3u);
+    EXPECT_LE(a.result_objects, 9u);
+  }
+}
+
+TEST(OnDemandQueueTest, LatencyGrowsWithLoad) {
+  OnDemandConfig cfg;
+  common::Rng rng(3);
+  double prev = 0.0;
+  for (const double rate : {1e-6, 4e-6, 8e-6}) {
+    auto arrivals = MakePoissonArrivals(rate, 5e7, 5, 15, &rng);
+    const auto s = SimulateQueue(arrivals, cfg);
+    EXPECT_GT(s.mean_latency_bytes, prev);
+    prev = s.mean_latency_bytes;
+  }
+}
+
+}  // namespace
+}  // namespace dsi::ondemand

@@ -1,0 +1,89 @@
+#include "sim/runner.hpp"
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datasets/datasets.hpp"
+#include "hilbert/space_mapper.hpp"
+
+namespace dsi::sim {
+namespace {
+
+TEST(WorkloadTest, WindowWorkloadShapeAndClipping) {
+  const auto windows =
+      MakeWindowWorkload(50, 0.1, datasets::UnitUniverse(), 3);
+  EXPECT_EQ(windows.size(), 50u);
+  for (const auto& w : windows) {
+    EXPECT_FALSE(w.IsEmpty());
+    EXPECT_LE(w.Width(), 0.1 + 1e-12);
+    EXPECT_LE(w.Height(), 0.1 + 1e-12);
+    EXPECT_TRUE(datasets::UnitUniverse().Contains(w));
+  }
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  const auto a = MakeWindowWorkload(10, 0.1, datasets::UnitUniverse(), 7);
+  const auto b = MakeWindowWorkload(10, 0.1, datasets::UnitUniverse(), 7);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  const auto p = MakeKnnWorkload(10, datasets::UnitUniverse(), 7);
+  const auto q = MakeKnnWorkload(10, datasets::UnitUniverse(), 7);
+  for (size_t i = 0; i < p.size(); ++i) EXPECT_EQ(p[i], q[i]);
+}
+
+TEST(RunnerTest, DsiWindowAveragesAreSane) {
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 8);
+  const core::DsiIndex index(
+      datasets::MakeUniform(500, datasets::UnitUniverse(), 5), mapper, 64,
+      core::DsiConfig{});
+  const auto windows =
+      MakeWindowWorkload(20, 0.1, datasets::UnitUniverse(), 9);
+  const AvgMetrics m = RunDsiWindow(index, windows, 0.0, 11);
+  EXPECT_EQ(m.queries, 20u);
+  EXPECT_EQ(m.incomplete, 0u);
+  EXPECT_GT(m.latency_bytes, 0.0);
+  EXPECT_GT(m.tuning_bytes, 0.0);
+  EXPECT_LE(m.tuning_bytes, m.latency_bytes);
+  EXPECT_LE(m.latency_bytes, 2.0 * index.program().cycle_bytes());
+}
+
+TEST(RunnerTest, DeterministicForSeed) {
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 8);
+  const core::DsiIndex index(
+      datasets::MakeUniform(300, datasets::UnitUniverse(), 5), mapper, 64,
+      core::DsiConfig{});
+  const auto points = MakeKnnWorkload(10, datasets::UnitUniverse(), 13);
+  const AvgMetrics a =
+      RunDsiKnn(index, points, 5, core::KnnStrategy::kConservative, 0.0, 17);
+  const AvgMetrics b =
+      RunDsiKnn(index, points, 5, core::KnnStrategy::kConservative, 0.0, 17);
+  EXPECT_DOUBLE_EQ(a.latency_bytes, b.latency_bytes);
+  EXPECT_DOUBLE_EQ(a.tuning_bytes, b.tuning_bytes);
+}
+
+TEST(RunnerTest, DeteriorationPct) {
+  EXPECT_DOUBLE_EQ(AvgMetrics::DeteriorationPct(120.0, 100.0), 20.0);
+  EXPECT_DOUBLE_EQ(AvgMetrics::DeteriorationPct(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(AvgMetrics::DeteriorationPct(5.0, 0.0), 0.0);
+}
+
+TEST(RunnerTest, AllSixRunnersExecute) {
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 8);
+  auto objects = datasets::MakeUniform(200, datasets::UnitUniverse(), 5);
+  const core::DsiIndex dsi(objects, mapper, 64, core::DsiConfig{});
+  const rtree::RtreeIndex rt(objects, 64);
+  const hci::HciIndex hci(objects, mapper, 64);
+  const auto windows = MakeWindowWorkload(5, 0.1, datasets::UnitUniverse(), 1);
+  const auto points = MakeKnnWorkload(5, datasets::UnitUniverse(), 2);
+  for (const AvgMetrics& m :
+       {RunDsiWindow(dsi, windows, 0.0, 3),
+        RunDsiKnn(dsi, points, 3, core::KnnStrategy::kAggressive, 0.0, 3),
+        RunRtreeWindow(rt, windows, 0.0, 3), RunRtreeKnn(rt, points, 3, 0.0, 3),
+        RunHciWindow(hci, windows, 0.0, 3), RunHciKnn(hci, points, 3, 0.0, 3)}) {
+    EXPECT_EQ(m.queries, 5u);
+    EXPECT_EQ(m.incomplete, 0u);
+    EXPECT_GT(m.latency_bytes, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dsi::sim

@@ -1,0 +1,143 @@
+#include "hilbert/space_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "datasets/datasets.hpp"
+
+namespace dsi::hilbert {
+namespace {
+
+using common::Point;
+using common::Rect;
+
+TEST(SpaceMapperTest, PointToCellCorners) {
+  const SpaceMapper m(Rect{0, 0, 1, 1}, 3);  // 8x8 grid
+  EXPECT_EQ(m.PointToCell(Point{0.0, 0.0}), (std::pair<uint32_t, uint32_t>{0, 0}));
+  // Top corner clamps into the last cell.
+  EXPECT_EQ(m.PointToCell(Point{1.0, 1.0}), (std::pair<uint32_t, uint32_t>{7, 7}));
+  EXPECT_EQ(m.PointToCell(Point{0.124, 0.99}), (std::pair<uint32_t, uint32_t>{0, 7}));
+}
+
+TEST(SpaceMapperTest, OutOfUniverseClamps) {
+  const SpaceMapper m(Rect{0, 0, 1, 1}, 3);
+  EXPECT_EQ(m.PointToCell(Point{-5.0, 2.0}), (std::pair<uint32_t, uint32_t>{0, 7}));
+}
+
+TEST(SpaceMapperTest, IndexToCenterRoundTrips) {
+  const SpaceMapper m(Rect{0, 0, 1, 1}, 6);
+  for (uint64_t d = 0; d < m.curve().num_cells(); d += 37) {
+    EXPECT_EQ(m.PointToIndex(m.IndexToCenter(d)), d);
+  }
+}
+
+TEST(SpaceMapperTest, CellRectContainsCenter) {
+  const SpaceMapper m(Rect{-2, -2, 2, 2}, 5);
+  for (uint64_t d = 0; d < m.curve().num_cells(); d += 13) {
+    EXPECT_TRUE(m.IndexToCellRect(d).Contains(m.IndexToCenter(d)));
+  }
+}
+
+TEST(SpaceMapperTest, WindowToRangesCoversContainedPoints) {
+  const SpaceMapper m(Rect{0, 0, 1, 1}, 7);
+  common::Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point c{rng.Uniform(0.1, 0.9), rng.Uniform(0.1, 0.9)};
+    const Rect w = common::MakeClippedWindow(c, 0.15, Rect{0, 0, 1, 1});
+    const auto ranges = m.WindowToRanges(w);
+    // Any point inside the window must map into some range.
+    for (int i = 0; i < 50; ++i) {
+      const Point p{rng.Uniform(w.min_x, w.max_x),
+                    rng.Uniform(w.min_y, w.max_y)};
+      const uint64_t h = m.PointToIndex(p);
+      bool found = false;
+      for (const auto& r : ranges) found |= (r.lo <= h && h <= r.hi);
+      EXPECT_TRUE(found) << "window " << w << " point " << p;
+    }
+  }
+}
+
+TEST(SpaceMapperTest, WindowToRangesExcludesFarPoints) {
+  const SpaceMapper m(Rect{0, 0, 1, 1}, 7);
+  const Rect w{0.4, 0.4, 0.5, 0.5};
+  const auto ranges = m.WindowToRanges(w);
+  // A point far outside the window (more than a cell away) is not covered.
+  const uint64_t h = m.PointToIndex(Point{0.9, 0.9});
+  for (const auto& r : ranges) {
+    EXPECT_FALSE(r.lo <= h && h <= r.hi);
+  }
+}
+
+TEST(SpaceMapperTest, WindowOutsideUniverseIsEmpty) {
+  const SpaceMapper m(Rect{0, 0, 1, 1}, 5);
+  EXPECT_TRUE(m.WindowToRanges(Rect{2, 2, 3, 3}).empty());
+}
+
+TEST(SpaceMapperTest, CircleToRangesMatchesWindowSemantics) {
+  const SpaceMapper m(Rect{0, 0, 1, 1}, 7);
+  common::Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Point q{rng.Uniform(0.2, 0.8), rng.Uniform(0.2, 0.8)};
+    const double r = rng.Uniform(0.05, 0.2);
+    const auto ranges = m.CircleToRanges(q, r);
+    // Points within the circle map into the ranges.
+    for (int i = 0; i < 60; ++i) {
+      const double ang = rng.Uniform(0, 2 * M_PI);
+      const double rad = r * std::sqrt(rng.Uniform(0, 1));
+      const Point p{q.x + rad * std::cos(ang), q.y + rad * std::sin(ang)};
+      if (p.x < 0 || p.x > 1 || p.y < 0 || p.y > 1) continue;
+      const uint64_t h = m.PointToIndex(p);
+      bool found = false;
+      for (const auto& rr : ranges) found |= (rr.lo <= h && h <= rr.hi);
+      EXPECT_TRUE(found);
+    }
+    // Cells entirely outside the circle are excluded: sample far points.
+    for (int i = 0; i < 60; ++i) {
+      const Point p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+      if (common::Distance(p, q) < r + 0.05) continue;  // margin: cell size
+      const uint64_t h = m.PointToIndex(p);
+      for (const auto& rr : ranges) {
+        EXPECT_FALSE(rr.lo <= h && h <= rr.hi)
+            << "point " << p << " dist " << common::Distance(p, q);
+      }
+    }
+  }
+}
+
+TEST(SpaceMapperTest, CircleWithNegativeRadiusIsEmpty) {
+  const SpaceMapper m(Rect{0, 0, 1, 1}, 5);
+  EXPECT_TRUE(m.CircleToRanges(Point{0.5, 0.5}, -1.0).empty());
+}
+
+TEST(SpaceMapperTest, MinMaxDistanceToIndexBracketsObjects) {
+  const SpaceMapper m(Rect{0, 0, 1, 1}, 8);
+  common::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const Point q{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const uint64_t h = m.PointToIndex(p);
+    const double d = common::Distance(q, p);
+    EXPECT_LE(m.MinDistanceToIndex(q, h), d + 1e-12);
+    EXPECT_GE(m.MaxDistanceToIndex(q, h), d - 1e-12);
+  }
+}
+
+TEST(ChooseOrderTest, GrowsWithCardinality) {
+  EXPECT_GE(ChooseOrder(10), 3);
+  const int o10k = ChooseOrder(10000);
+  const int o100 = ChooseOrder(100);
+  EXPECT_GT(o10k, o100);
+  // 4 cells/object at 10k objects -> >= 40k cells -> order >= 8.
+  EXPECT_GE(o10k, 8);
+}
+
+TEST(ChooseOrderTest, CellsPerObjectHonored) {
+  const int order = ChooseOrder(1000, 16.0);
+  const double cells = std::pow(4.0, order);
+  EXPECT_GE(cells, 16000.0);
+}
+
+}  // namespace
+}  // namespace dsi::hilbert

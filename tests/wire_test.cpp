@@ -1,0 +1,161 @@
+#include "wire/codecs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/sizes.hpp"
+#include "hilbert/space_mapper.hpp"
+
+namespace dsi::wire {
+namespace {
+
+TEST(ByteBufferTest, UintRoundTripAllWidths) {
+  for (size_t width = 1; width <= 8; ++width) {
+    const uint64_t value =
+        width == 8 ? 0xDEADBEEFCAFEBABEull
+                   : (0xDEADBEEFCAFEBABEull & ((uint64_t{1} << (8 * width)) - 1));
+    ByteWriter w;
+    w.WriteUint(value, width);
+    EXPECT_EQ(w.size(), width);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.ReadUint(width), value);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(ByteBufferTest, DoubleRoundTrip) {
+  ByteWriter w;
+  w.WriteDouble(-0.3291882);
+  w.WriteDouble(1e300);
+  ByteReader r(w.bytes());
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), -0.3291882);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), 1e300);
+}
+
+TEST(ByteBufferTest, TruncatedReadFails) {
+  ByteWriter w;
+  w.WriteUint(42, 2);
+  ByteReader r(w.bytes());
+  (void)r.ReadUint(4);  // asks for more than available
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DsiTableCodecTest, RoundTripMatchesDeclaredSize) {
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 8);
+  core::DsiConfig cfg;
+  cfg.num_segments = 2;
+  const core::DsiIndex index(
+      datasets::MakeUniform(300, datasets::UnitUniverse(), 3), mapper, 64,
+      cfg);
+  for (uint32_t pos = 0; pos < index.num_frames(); pos += 37) {
+    const core::DsiTableView table = index.TableAt(pos);
+    const auto bytes = EncodeDsiTable(table, index.segment_head_hcs(),
+                                      index.table_hc_bytes());
+    // The broadcast program charges exactly this many bytes.
+    EXPECT_EQ(bytes.size(), index.table_bytes());
+    core::DsiTableView decoded;
+    std::vector<uint64_t> heads;
+    ASSERT_TRUE(DecodeDsiTable(bytes, index.table_hc_bytes(), 2,
+                               index.entries_per_table(), pos, &decoded,
+                               &heads));
+    EXPECT_EQ(decoded.own_hc_min, table.own_hc_min);
+    EXPECT_EQ(heads, index.segment_head_hcs());
+    ASSERT_EQ(decoded.entries.size(), table.entries.size());
+    for (size_t i = 0; i < table.entries.size(); ++i) {
+      EXPECT_EQ(decoded.entries[i].hc_min, table.entries[i].hc_min);
+      EXPECT_EQ(decoded.entries[i].position, table.entries[i].position);
+    }
+  }
+}
+
+TEST(DsiTableCodecTest, PaperLiteralSixteenByteFields) {
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 8);
+  core::DsiConfig cfg;
+  cfg.table_hc_bytes = 16;
+  const core::DsiIndex index(
+      datasets::MakeUniform(100, datasets::UnitUniverse(), 5), mapper, 64,
+      cfg);
+  const core::DsiTableView table = index.TableAt(0);
+  const auto bytes =
+      EncodeDsiTable(table, index.segment_head_hcs(), 16);
+  EXPECT_EQ(bytes.size(), index.table_bytes());
+  core::DsiTableView decoded;
+  std::vector<uint64_t> heads;
+  ASSERT_TRUE(DecodeDsiTable(bytes, 16, 1, index.entries_per_table(), 0,
+                             &decoded, &heads));
+  EXPECT_EQ(decoded.own_hc_min, table.own_hc_min);
+}
+
+TEST(DsiTableCodecTest, TruncatedTableRejected) {
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 8);
+  const core::DsiIndex index(
+      datasets::MakeUniform(100, datasets::UnitUniverse(), 5), mapper, 64,
+      core::DsiConfig{});
+  auto bytes = EncodeDsiTable(index.TableAt(0), index.segment_head_hcs(),
+                              index.table_hc_bytes());
+  bytes.pop_back();
+  core::DsiTableView decoded;
+  std::vector<uint64_t> heads;
+  EXPECT_FALSE(DecodeDsiTable(bytes, index.table_hc_bytes(), 1,
+                              index.entries_per_table(), 0, &decoded,
+                              &heads));
+}
+
+TEST(BptNodeCodecTest, RoundTripAndSize) {
+  const bptree::BptTree tree({5, 9, 9, 14, 20, 21, 33, 40}, 3);
+  for (uint32_t id = 0; id < tree.num_nodes(); ++id) {
+    const auto bytes = EncodeBptNode(tree.entries(id));
+    EXPECT_EQ(bytes.size(), tree.NodeBytes(id));
+    std::vector<bptree::BptEntry> decoded;
+    ASSERT_TRUE(DecodeBptNode(bytes, &decoded));
+    ASSERT_EQ(decoded.size(), tree.entries(id).size());
+    for (size_t i = 0; i < decoded.size(); ++i) {
+      EXPECT_EQ(decoded[i].key, tree.entries(id)[i].key);
+      EXPECT_EQ(decoded[i].child, tree.entries(id)[i].child);
+    }
+  }
+}
+
+TEST(BptNodeCodecTest, RejectsMisalignedBuffer) {
+  std::vector<bptree::BptEntry> decoded;
+  EXPECT_FALSE(DecodeBptNode(std::vector<uint8_t>(17, 0), &decoded));
+}
+
+TEST(RtreeNodeCodecTest, RoundTripAndSize) {
+  const auto objs = datasets::MakeUniform(60, datasets::UnitUniverse(), 7);
+  const rtree::Rtree tree(objs, 4);
+  for (uint32_t id = 0; id < tree.num_nodes(); ++id) {
+    const auto bytes = EncodeRtreeNode(tree.entries(id));
+    EXPECT_EQ(bytes.size(), tree.NodeBytes(id));
+    std::vector<rtree::Rtree::Entry> decoded;
+    ASSERT_TRUE(DecodeRtreeNode(bytes, &decoded));
+    ASSERT_EQ(decoded.size(), tree.entries(id).size());
+    for (size_t i = 0; i < decoded.size(); ++i) {
+      EXPECT_EQ(decoded[i].mbr, tree.entries(id)[i].mbr);
+      EXPECT_EQ(decoded[i].child, tree.entries(id)[i].child);
+    }
+  }
+}
+
+TEST(DataObjectCodecTest, RoundTripExactlyOneKilobyte) {
+  common::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    datasets::SpatialObject o{static_cast<uint32_t>(rng.UniformInt(0, 1 << 30)),
+                              {rng.Uniform(0, 1), rng.Uniform(0, 1)}};
+    const auto bytes = EncodeDataObject(o);
+    EXPECT_EQ(bytes.size(), common::kDataObjectBytes);
+    datasets::SpatialObject back;
+    ASSERT_TRUE(DecodeDataObject(bytes, &back));
+    EXPECT_EQ(back.id, o.id);
+    EXPECT_EQ(back.location, o.location);
+  }
+}
+
+TEST(DataObjectCodecTest, WrongSizeRejected) {
+  datasets::SpatialObject o;
+  EXPECT_FALSE(DecodeDataObject(std::vector<uint8_t>(1023, 0), &o));
+}
+
+}  // namespace
+}  // namespace dsi::wire
