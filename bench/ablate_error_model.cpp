@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
   const core::DsiIndex dsi(objects, mapper, kCapacity,
                            bench::DsiReorganized());
   const hci::HciIndex hci(objects, mapper, kCapacity);
+  const air::DsiHandle hd(dsi);
+  const air::HciHandle hh(hci);
 
   std::cout << "Ablation: link-error models, window query latency "
             << "deterioration in % (capacity=64B, " << objects.size()
@@ -32,19 +34,18 @@ int main(int argc, char** argv) {
   t.PrintHeader();
   using broadcast::ErrorMode;
   using sim::AvgMetrics;
-  const auto d0e = sim::RunDsiWindow(dsi, windows, 0.0, opt.seed + 2,
-                                     ErrorMode::kSingleEvent);
-  const auto h0e = sim::RunHciWindow(hci, windows, 0.0, opt.seed + 2,
-                                     ErrorMode::kSingleEvent);
+  const auto run = [&](const air::AirIndexHandle& h, double theta,
+                       ErrorMode mode) {
+    return sim::RunWorkload(h, sim::Workload::Window(windows, theta, mode),
+                            bench::Par(opt.seed + 2));
+  };
+  const auto d0e = run(hd, 0.0, ErrorMode::kSingleEvent);
+  const auto h0e = run(hh, 0.0, ErrorMode::kSingleEvent);
   for (const double theta : {0.2, 0.5, 0.7}) {
-    const auto de = sim::RunDsiWindow(dsi, windows, theta, opt.seed + 2,
-                                      ErrorMode::kSingleEvent);
-    const auto he = sim::RunHciWindow(hci, windows, theta, opt.seed + 2,
-                                      ErrorMode::kSingleEvent);
-    const auto di = sim::RunDsiWindow(dsi, windows, theta, opt.seed + 2,
-                                      ErrorMode::kPerReadLoss);
-    const auto hi = sim::RunHciWindow(hci, windows, theta, opt.seed + 2,
-                                      ErrorMode::kPerReadLoss);
+    const auto de = run(hd, theta, ErrorMode::kSingleEvent);
+    const auto he = run(hh, theta, ErrorMode::kSingleEvent);
+    const auto di = run(hd, theta, ErrorMode::kPerReadLoss);
+    const auto hi = run(hh, theta, ErrorMode::kPerReadLoss);
     t.PrintRow(theta,
                AvgMetrics::DeteriorationPct(de.latency_bytes, d0e.latency_bytes),
                AvgMetrics::DeteriorationPct(he.latency_bytes, h0e.latency_bytes),

@@ -25,14 +25,16 @@ int main(int argc, char** argv) {
   sim::TablePrinter t({"HCbytes", "TableB", "CycleMB", "Lat(Win)",
                        "Tun(Win)", "Lat(10NN)", "Tun(10NN)"});
   t.PrintHeader();
+  const auto win_workload = sim::Workload::Window(windows);
+  const auto knn_workload = sim::Workload::Knn(points, 10);
   for (const uint32_t hc_bytes : {0u, 4u, 8u, 16u}) {
     core::DsiConfig cfg = bench::DsiReorganized();
     cfg.table_hc_bytes = hc_bytes;
     const core::DsiIndex index(objects, mapper, 64, cfg);
-    const auto mw = sim::RunDsiWindow(index, windows, 0.0, opt.seed + 3);
-    const auto mk = sim::RunDsiKnn(index, points, 10,
-                                   core::KnnStrategy::kConservative, 0.0,
-                                   opt.seed + 4);
+    const auto mw = sim::RunWorkload(air::DsiHandle(index), win_workload,
+                                     bench::Par(opt.seed + 3));
+    const auto mk = sim::RunWorkload(air::DsiHandle(index), knn_workload,
+                                     bench::Par(opt.seed + 4));
     t.PrintRow(hc_bytes == 0 ? std::string("auto") : std::to_string(hc_bytes),
                index.table_bytes(),
                index.program().cycle_bytes() / 1e6, mw.latency_bytes / 1e3,

@@ -39,11 +39,14 @@ int main(int argc, char** argv) {
       {"(1,16)", broadcast::TreeLayout::kOneM, 16},
       {"distributed", broadcast::TreeLayout::kDistributed, 16},
   };
+  const auto workload = sim::Workload::Window(windows);
   for (const Case& c : cases) {
     const rtree::RtreeIndex rt(objects, kCapacity, c.param, c.layout);
     const hci::HciIndex hci(objects, mapper, kCapacity, c.param, c.layout);
-    const auto mr = sim::RunRtreeWindow(rt, windows, 0.0, opt.seed + 2);
-    const auto mh = sim::RunHciWindow(hci, windows, 0.0, opt.seed + 2);
+    const auto mr = sim::RunWorkload(air::RtreeHandle(rt), workload,
+                                     bench::Par(opt.seed + 2));
+    const auto mh = sim::RunWorkload(air::HciHandle(hci), workload,
+                                     bench::Par(opt.seed + 2));
     t.PrintRow(c.name, rt.program().cycle_bytes() / 1e6,
                mr.latency_bytes / 1e3, mr.tuning_bytes / 1e3,
                mh.latency_bytes / 1e3, mh.tuning_bytes / 1e3);

@@ -16,6 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "air/dsi_handle.hpp"
+#include "air/hci_handle.hpp"
+#include "air/rtree_handle.hpp"
 #include "datasets/datasets.hpp"
 #include "dsi/client.hpp"
 #include "dsi/index.hpp"
@@ -76,6 +79,12 @@ inline core::DsiConfig DsiOriginal() { return core::DsiConfig{}; }
 inline const std::vector<size_t>& Capacities() {
   static const std::vector<size_t> caps{32, 64, 128, 256, 512};
   return caps;
+}
+
+/// Run options for bench data points: seeded, sharded over all cores
+/// (results are bit-identical for any worker count).
+inline sim::RunOptions Par(uint64_t seed) {
+  return sim::RunOptions{seed, /*workers=*/0};
 }
 
 }  // namespace dsi::bench

@@ -29,9 +29,13 @@ int main(int argc, char** argv) {
   for (const double ratio : {0.02, 0.05, 0.1, 0.15, 0.2}) {
     const auto windows = sim::MakeWindowWorkload(
         opt.queries, ratio, datasets::UnitUniverse(), opt.seed + 1);
-    const auto md = sim::RunDsiWindow(dsi, windows, 0.0, opt.seed + 2);
-    const auto mr = sim::RunRtreeWindow(rt, windows, 0.0, opt.seed + 2);
-    const auto mh = sim::RunHciWindow(hci, windows, 0.0, opt.seed + 2);
+    const auto workload = sim::Workload::Window(windows);
+    const auto md = sim::RunWorkload(air::DsiHandle(dsi), workload,
+                                     bench::Par(opt.seed + 2));
+    const auto mr = sim::RunWorkload(air::RtreeHandle(rt), workload,
+                                     bench::Par(opt.seed + 2));
+    const auto mh = sim::RunWorkload(air::HciHandle(hci), workload,
+                                     bench::Par(opt.seed + 2));
     t.PrintRow(ratio, md.latency_bytes / 1e3, mr.latency_bytes / 1e3,
                mh.latency_bytes / 1e3, md.tuning_bytes / 1e3,
                mr.tuning_bytes / 1e3, mh.tuning_bytes / 1e3);

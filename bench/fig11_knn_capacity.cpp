@@ -29,11 +29,13 @@ int main(int argc, char** argv) {
       const core::DsiIndex dsi(objects, mapper, cap, bench::DsiReorganized());
       const rtree::RtreeIndex rt(objects, cap);
       const hci::HciIndex hci(objects, mapper, cap);
-      const auto md = sim::RunDsiKnn(dsi, points, k,
-                                     core::KnnStrategy::kConservative, 0.0,
-                                     opt.seed + 2);
-      const auto mr = sim::RunRtreeKnn(rt, points, k, 0.0, opt.seed + 2);
-      const auto mh = sim::RunHciKnn(hci, points, k, 0.0, opt.seed + 2);
+      const auto workload = sim::Workload::Knn(points, k);
+      const auto md = sim::RunWorkload(air::DsiHandle(dsi), workload,
+                                       bench::Par(opt.seed + 2));
+      const auto mr = sim::RunWorkload(air::RtreeHandle(rt), workload,
+                                       bench::Par(opt.seed + 2));
+      const auto mh = sim::RunWorkload(air::HciHandle(hci), workload,
+                                       bench::Par(opt.seed + 2));
       t.PrintRow(cap, md.latency_bytes / 1e3, mr.latency_bytes / 1e3,
                  mh.latency_bytes / 1e3, md.tuning_bytes / 1e3,
                  mr.tuning_bytes / 1e3, mh.tuning_bytes / 1e3);

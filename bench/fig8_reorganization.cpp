@@ -28,11 +28,14 @@ int main(int argc, char** argv) {
   sim::TablePrinter win({"Capacity", "Lat(Orig)", "Lat(Reorg)", "Tun(Orig)",
                          "Tun(Reorg)"});
   win.PrintHeader();
+  const auto win_workload = sim::Workload::Window(windows);
   for (const size_t cap : bench::Capacities()) {
     const core::DsiIndex original(objects, mapper, cap, bench::DsiOriginal());
     const core::DsiIndex reorg(objects, mapper, cap, bench::DsiReorganized());
-    const auto mo = sim::RunDsiWindow(original, windows, 0.0, opt.seed + 3);
-    const auto mr = sim::RunDsiWindow(reorg, windows, 0.0, opt.seed + 3);
+    const auto mo = sim::RunWorkload(air::DsiHandle(original), win_workload,
+                                     bench::Par(opt.seed + 3));
+    const auto mr = sim::RunWorkload(air::DsiHandle(reorg), win_workload,
+                                     bench::Par(opt.seed + 3));
     win.PrintRow(cap, mo.latency_bytes / 1e3, mr.latency_bytes / 1e3,
                  mo.tuning_bytes / 1e3, mr.tuning_bytes / 1e3);
   }
@@ -41,18 +44,18 @@ int main(int argc, char** argv) {
   sim::TablePrinter knn({"Capacity", "Lat(Cons)", "Lat(Aggr)", "Lat(Reorg)",
                          "Tun(Cons)", "Tun(Aggr)", "Tun(Reorg)"});
   knn.PrintHeader();
+  const auto cons = sim::Workload::Knn(points, 10);
+  const auto aggr =
+      sim::Workload::Knn(points, 10, air::KnnStrategy::kAggressive);
   for (const size_t cap : bench::Capacities()) {
     const core::DsiIndex original(objects, mapper, cap, bench::DsiOriginal());
     const core::DsiIndex reorg(objects, mapper, cap, bench::DsiReorganized());
-    const auto mc = sim::RunDsiKnn(original, points, 10,
-                                   core::KnnStrategy::kConservative, 0.0,
-                                   opt.seed + 4);
-    const auto ma = sim::RunDsiKnn(original, points, 10,
-                                   core::KnnStrategy::kAggressive, 0.0,
-                                   opt.seed + 4);
-    const auto mr = sim::RunDsiKnn(reorg, points, 10,
-                                   core::KnnStrategy::kConservative, 0.0,
-                                   opt.seed + 4);
+    const auto mc = sim::RunWorkload(air::DsiHandle(original), cons,
+                                     bench::Par(opt.seed + 4));
+    const auto ma = sim::RunWorkload(air::DsiHandle(original), aggr,
+                                     bench::Par(opt.seed + 4));
+    const auto mr = sim::RunWorkload(air::DsiHandle(reorg), cons,
+                                     bench::Par(opt.seed + 4));
     knn.PrintRow(cap, mc.latency_bytes / 1e3, ma.latency_bytes / 1e3,
                  mr.latency_bytes / 1e3, mc.tuning_bytes / 1e3,
                  ma.tuning_bytes / 1e3, mr.tuning_bytes / 1e3);

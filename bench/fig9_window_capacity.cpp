@@ -25,14 +25,18 @@ int main(int argc, char** argv) {
   sim::TablePrinter t({"Capacity", "Lat(DSI)", "Lat(Rtree)", "Lat(HCI)",
                        "Tun(DSI)", "Tun(Rtree)", "Tun(HCI)"});
   t.PrintHeader();
+  const auto workload = sim::Workload::Window(windows);
   for (const size_t cap : bench::Capacities()) {
     const core::DsiIndex dsi(objects, mapper, cap, bench::DsiReorganized());
     const hci::HciIndex hci(objects, mapper, cap);
-    const auto md = sim::RunDsiWindow(dsi, windows, 0.0, opt.seed + 2);
-    const auto mh = sim::RunHciWindow(hci, windows, 0.0, opt.seed + 2);
+    const auto md = sim::RunWorkload(air::DsiHandle(dsi), workload,
+                                     bench::Par(opt.seed + 2));
+    const auto mh = sim::RunWorkload(air::HciHandle(hci), workload,
+                                     bench::Par(opt.seed + 2));
     if (rtree::Rtree::SupportedCapacity(cap)) {
       const rtree::RtreeIndex rt(objects, cap);
-      const auto mr = sim::RunRtreeWindow(rt, windows, 0.0, opt.seed + 2);
+      const auto mr = sim::RunWorkload(air::RtreeHandle(rt), workload,
+                                       bench::Par(opt.seed + 2));
       t.PrintRow(cap, md.latency_bytes / 1e3, mr.latency_bytes / 1e3,
                  mh.latency_bytes / 1e3, md.tuning_bytes / 1e3,
                  mr.tuning_bytes / 1e3, mh.tuning_bytes / 1e3);

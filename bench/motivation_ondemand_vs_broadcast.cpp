@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
   // Broadcast side: window queries, load-independent by construction.
   const auto windows = sim::MakeWindowWorkload(
       opt.queries, 0.1, datasets::UnitUniverse(), opt.seed + 1);
-  const auto broadcast_m = sim::RunDsiWindow(dsi, windows, 0.0, opt.seed + 2);
+  const auto broadcast_m =
+      sim::RunWorkload(air::DsiHandle(dsi), sim::Workload::Window(windows),
+                       bench::Par(opt.seed + 2));
   double avg_results = 0.0;
   {
     size_t total = 0;

@@ -30,14 +30,16 @@ int main(int argc, char** argv) {
             << " clustered points, capacity=64B, " << opt.queries
             << " queries/point)\n\n";
 
-  const auto dw = sim::RunDsiWindow(dsi, windows, 0.0, opt.seed + 3);
-  const auto rw = sim::RunRtreeWindow(rt, windows, 0.0, opt.seed + 3);
-  const auto hw = sim::RunHciWindow(hci, windows, 0.0, opt.seed + 3);
-  const auto dk = sim::RunDsiKnn(dsi, points, 10,
-                                 core::KnnStrategy::kConservative, 0.0,
-                                 opt.seed + 4);
-  const auto rk = sim::RunRtreeKnn(rt, points, 10, 0.0, opt.seed + 4);
-  const auto hk = sim::RunHciKnn(hci, points, 10, 0.0, opt.seed + 4);
+  const auto win = sim::Workload::Window(windows);
+  const auto knn = sim::Workload::Knn(points, 10);
+  const auto wopt = bench::Par(opt.seed + 3);
+  const auto kopt = bench::Par(opt.seed + 4);
+  const auto dw = sim::RunWorkload(air::DsiHandle(dsi), win, wopt);
+  const auto rw = sim::RunWorkload(air::RtreeHandle(rt), win, wopt);
+  const auto hw = sim::RunWorkload(air::HciHandle(hci), win, wopt);
+  const auto dk = sim::RunWorkload(air::DsiHandle(dsi), knn, kopt);
+  const auto rk = sim::RunWorkload(air::RtreeHandle(rt), knn, kopt);
+  const auto hk = sim::RunWorkload(air::HciHandle(hci), knn, kopt);
 
   std::cout << "Absolute metrics, bytes x10^3:\n";
   sim::TablePrinter t({"Query", "Lat(DSI)", "Lat(Rtree)", "Lat(HCI)",

@@ -24,54 +24,47 @@ int main(int argc, char** argv) {
                            bench::DsiReorganized());
   const rtree::RtreeIndex rt(objects, kCapacity);
   const hci::HciIndex hci(objects, mapper, kCapacity);
+  const air::DsiHandle hd(dsi);
+  const air::RtreeHandle hr(rt);
+  const air::HciHandle hh(hci);
 
   std::cout << "Table 1: deterioration (%) in error-prone environments ("
             << (opt.real ? "REAL-like" : "UNIFORM") << ", " << objects.size()
             << " objects, capacity=64B, " << opt.queries
             << " queries/point, single-event error model)\n\n";
 
-  // Lossless baselines.
-  const auto dw0 = sim::RunDsiWindow(dsi, windows, 0.0, opt.seed + 3, kMode);
-  const auto dk0 = sim::RunDsiKnn(dsi, points, 10,
-                                  core::KnnStrategy::kConservative, 0.0,
-                                  opt.seed + 4, kMode);
-  const auto rw0 = sim::RunRtreeWindow(rt, windows, 0.0, opt.seed + 3, kMode);
-  const auto rk0 = sim::RunRtreeKnn(rt, points, 10, 0.0, opt.seed + 4, kMode);
-  const auto hw0 = sim::RunHciWindow(hci, windows, 0.0, opt.seed + 3, kMode);
-  const auto hk0 = sim::RunHciKnn(hci, points, 10, 0.0, opt.seed + 4, kMode);
+  // One descriptor per kind, theta mutated per data point (the query
+  // vectors are copied once, not per run).
+  auto win = sim::Workload::Window(windows, 0.0, kMode);
+  auto knn = sim::Workload::Knn(points, 10, air::KnnStrategy::kConservative,
+                                0.0, kMode);
+  const auto wopt = bench::Par(opt.seed + 3);
+  const auto kopt = bench::Par(opt.seed + 4);
 
   sim::TablePrinter t({"Index/theta", "WinLat%", "WinTun%", "10NNLat%",
                        "10NNTun%"});
   t.PrintHeader();
   using sim::AvgMetrics;
-  for (const double theta : {0.2, 0.5, 0.7}) {
-    const auto hw = sim::RunHciWindow(hci, windows, theta, opt.seed + 3, kMode);
-    const auto hk = sim::RunHciKnn(hci, points, 10, theta, opt.seed + 4, kMode);
-    t.PrintRow("HCI " + std::to_string(theta).substr(0, 3),
-               AvgMetrics::DeteriorationPct(hw.latency_bytes, hw0.latency_bytes),
-               AvgMetrics::DeteriorationPct(hw.tuning_bytes, hw0.tuning_bytes),
-               AvgMetrics::DeteriorationPct(hk.latency_bytes, hk0.latency_bytes),
-               AvgMetrics::DeteriorationPct(hk.tuning_bytes, hk0.tuning_bytes));
-  }
-  for (const double theta : {0.2, 0.5, 0.7}) {
-    const auto rw = sim::RunRtreeWindow(rt, windows, theta, opt.seed + 3, kMode);
-    const auto rk = sim::RunRtreeKnn(rt, points, 10, theta, opt.seed + 4, kMode);
-    t.PrintRow("Rtree " + std::to_string(theta).substr(0, 3),
-               AvgMetrics::DeteriorationPct(rw.latency_bytes, rw0.latency_bytes),
-               AvgMetrics::DeteriorationPct(rw.tuning_bytes, rw0.tuning_bytes),
-               AvgMetrics::DeteriorationPct(rk.latency_bytes, rk0.latency_bytes),
-               AvgMetrics::DeteriorationPct(rk.tuning_bytes, rk0.tuning_bytes));
-  }
-  for (const double theta : {0.2, 0.5, 0.7}) {
-    const auto dw = sim::RunDsiWindow(dsi, windows, theta, opt.seed + 3, kMode);
-    const auto dk = sim::RunDsiKnn(dsi, points, 10,
-                                   core::KnnStrategy::kConservative, theta,
-                                   opt.seed + 4, kMode);
-    t.PrintRow("DSI " + std::to_string(theta).substr(0, 3),
-               AvgMetrics::DeteriorationPct(dw.latency_bytes, dw0.latency_bytes),
-               AvgMetrics::DeteriorationPct(dw.tuning_bytes, dw0.tuning_bytes),
-               AvgMetrics::DeteriorationPct(dk.latency_bytes, dk0.latency_bytes),
-               AvgMetrics::DeteriorationPct(dk.tuning_bytes, dk0.tuning_bytes));
+  struct Row {
+    const char* name;
+    const air::AirIndexHandle* handle;
+  };
+  for (const Row& row : {Row{"HCI", &hh}, Row{"Rtree", &hr}, Row{"DSI", &hd}}) {
+    // Lossless baselines.
+    win.theta = knn.theta = 0.0;
+    const auto w0 = sim::RunWorkload(*row.handle, win, wopt);
+    const auto k0 = sim::RunWorkload(*row.handle, knn, kopt);
+    for (const double theta : {0.2, 0.5, 0.7}) {
+      win.theta = knn.theta = theta;
+      const auto w = sim::RunWorkload(*row.handle, win, wopt);
+      const auto k = sim::RunWorkload(*row.handle, knn, kopt);
+      t.PrintRow(std::string(row.name) + " " +
+                     std::to_string(theta).substr(0, 3),
+                 AvgMetrics::DeteriorationPct(w.latency_bytes, w0.latency_bytes),
+                 AvgMetrics::DeteriorationPct(w.tuning_bytes, w0.tuning_bytes),
+                 AvgMetrics::DeteriorationPct(k.latency_bytes, k0.latency_bytes),
+                 AvgMetrics::DeteriorationPct(k.tuning_bytes, k0.tuning_bytes));
+    }
   }
   std::cout << "\nExpected shape (paper): deterioration grows with theta "
                "for every index; DSI deteriorates least (e.g. paper window "

@@ -8,8 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "air/dsi_handle.hpp"
 #include "datasets/datasets.hpp"
-#include "dsi/client.hpp"
 #include "dsi/index.hpp"
 #include "hilbert/space_mapper.hpp"
 
@@ -22,15 +22,16 @@ int main() {
   core::DsiConfig config;
   config.num_segments = 2;
   const core::DsiIndex index(objects, mapper, 64, config);
+  const air::DsiHandle broadcast_index(index);
 
-  broadcast::ClientSession session(index.program(), 424242,
+  broadcast::ClientSession session(broadcast_index.program(), 424242,
                                    broadcast::ErrorModel{}, common::Rng(6));
   std::vector<broadcast::TraceEvent> trace;
   session.set_trace(&trace);
 
-  core::DsiClient client(index, &session);
+  const auto client = broadcast_index.MakeClient(&session);
   const common::Rect window{0.60, 0.20, 0.72, 0.32};
-  const auto result = client.WindowQuery(window);
+  const auto result = client->WindowQuery(window);
   const auto m = session.metrics();
 
   std::printf("window query: %zu results, latency %.1f KiB, tuning %.1f KiB "

@@ -7,8 +7,9 @@
 
 #include <cstdio>
 
+#include "air/dsi_handle.hpp"
+#include "air/hci_handle.hpp"
 #include "datasets/datasets.hpp"
-#include "dsi/client.hpp"
 #include "dsi/index.hpp"
 #include "hci/hci.hpp"
 #include "hilbert/space_mapper.hpp"
@@ -23,6 +24,13 @@ int main() {
   config.num_segments = 2;
   const core::DsiIndex dsi(objects, mapper, 64, config);
   const hci::HciIndex hci(objects, mapper, 64);
+  const air::DsiHandle dsi_air(dsi);
+  const air::HciHandle hci_air(hci);
+  struct Family {
+    const char* name;
+    const air::AirIndexHandle* index;
+  };
+  const Family families[] = {{"DSI", &dsi_air}, {"HCI", &hci_air}};
 
   const common::Rect window{0.25, 0.25, 0.40, 0.40};
   size_t expected = 0;
@@ -35,28 +43,16 @@ int main() {
               "tuning KiB", "losses", "exact?");
 
   for (const double theta : {0.0, 0.2, 0.5, 0.7}) {
-    {
-      broadcast::ClientSession s(dsi.program(), 31337,
+    for (const Family& fam : families) {
+      broadcast::ClientSession s(fam.index->program(), 31337,
                                  broadcast::ErrorModel{theta},
                                  common::Rng(42));
-      core::DsiClient c(dsi, &s);
-      const auto result = c.WindowQuery(window);
-      std::printf("%-8.1f%12s%16.1f%14.1f%12lu%12s\n", theta, "DSI",
+      const auto c = fam.index->MakeClient(&s);
+      const auto result = c->WindowQuery(window);
+      std::printf("%-8.1f%12s%16.1f%14.1f%12lu%12s\n", theta, fam.name,
                   s.metrics().access_latency_bytes / 1024.0,
                   s.metrics().tuning_bytes / 1024.0,
-                  c.stats().buckets_lost,
-                  result.size() == expected ? "yes" : "NO");
-    }
-    {
-      broadcast::ClientSession s(hci.program(), 31337,
-                                 broadcast::ErrorModel{theta},
-                                 common::Rng(42));
-      hci::HciClient c(hci, &s);
-      const auto result = c.WindowQuery(window);
-      std::printf("%-8.1f%12s%16.1f%14.1f%12lu%12s\n", theta, "HCI",
-                  s.metrics().access_latency_bytes / 1024.0,
-                  s.metrics().tuning_bytes / 1024.0,
-                  c.stats().buckets_lost,
+                  c->stats().buckets_lost,
                   result.size() == expected ? "yes" : "NO");
     }
   }

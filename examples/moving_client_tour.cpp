@@ -7,8 +7,8 @@
 #include <cstdio>
 #include <cmath>
 
+#include "air/dsi_handle.hpp"
 #include "datasets/datasets.hpp"
-#include "dsi/client.hpp"
 #include "dsi/index.hpp"
 #include "hilbert/space_mapper.hpp"
 
@@ -23,6 +23,7 @@ int main() {
   core::DsiConfig config;
   config.num_segments = 2;
   const core::DsiIndex index(stations, mapper, 64, config);
+  const air::DsiHandle broadcast_index(index);
 
   // A diagonal drive with a gentle curve.
   constexpr int kWaypoints = 8;
@@ -36,11 +37,11 @@ int main() {
     const double t = static_cast<double>(i) / (kWaypoints - 1);
     const common::Point pos{0.1 + 0.8 * t,
                             0.2 + 0.6 * t + 0.1 * std::sin(6.28 * t)};
-    broadcast::ClientSession session(index.program(), channel_time,
+    broadcast::ClientSession session(broadcast_index.program(), channel_time,
                                      broadcast::ErrorModel{},
                                      common::Rng(100 + i));
-    core::DsiClient client(index, &session);
-    const auto result = client.KnnQuery(pos, 5);
+    const auto client = broadcast_index.MakeClient(&session);
+    const auto result = client->KnnQuery(pos, 5);
     const auto m = session.metrics();
     channel_time = session.now_packets();  // keep riding the channel
     total_tuning += m.tuning_bytes;

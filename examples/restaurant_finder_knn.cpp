@@ -6,8 +6,8 @@
 
 #include <cstdio>
 
+#include "air/dsi_handle.hpp"
 #include "datasets/datasets.hpp"
-#include "dsi/client.hpp"
 #include "dsi/index.hpp"
 #include "hilbert/space_mapper.hpp"
 
@@ -27,19 +27,21 @@ int main() {
   core::DsiConfig reorg_cfg;
   reorg_cfg.num_segments = 2;
   const core::DsiIndex reorganized(restaurants, mapper, kCapacity, reorg_cfg);
+  const air::DsiHandle original_air(original);
+  const air::DsiHandle reorganized_air(reorganized);
 
   struct Run {
     const char* name;
-    const core::DsiIndex* index;
-    core::KnnStrategy strategy;
+    const air::AirIndexHandle* index;
+    air::KnnStrategy strategy;
   };
   const Run runs[] = {
-      {"conservative (original order)", &original,
-       core::KnnStrategy::kConservative},
-      {"aggressive   (original order)", &original,
-       core::KnnStrategy::kAggressive},
-      {"conservative (reorganized m=2)", &reorganized,
-       core::KnnStrategy::kConservative},
+      {"conservative (original order)", &original_air,
+       air::KnnStrategy::kConservative},
+      {"aggressive   (original order)", &original_air,
+       air::KnnStrategy::kAggressive},
+      {"conservative (reorganized m=2)", &reorganized_air,
+       air::KnnStrategy::kConservative},
   };
 
   std::printf("finding the %zu nearest restaurants to (%.2f, %.2f), "
@@ -57,8 +59,8 @@ int main() {
           kTrials;
       broadcast::ClientSession s(run.index->program(), tune_in,
                                  broadcast::ErrorModel{}, common::Rng(t + 1));
-      core::DsiClient c(*run.index, &s);
-      const auto result = c.KnnQuery(me, kK, run.strategy);
+      const auto c = run.index->MakeClient(&s);
+      const auto result = c->KnnQuery(me, kK, run.strategy);
       if (result.size() != kK) std::printf("unexpected result size!\n");
       lat += static_cast<double>(s.metrics().access_latency_bytes);
       tun += static_cast<double>(s.metrics().tuning_bytes);

@@ -9,8 +9,10 @@
 
 #include <cstdio>
 
+#include "air/dsi_handle.hpp"
+#include "air/hci_handle.hpp"
+#include "air/rtree_handle.hpp"
 #include "datasets/datasets.hpp"
-#include "dsi/client.hpp"
 #include "dsi/index.hpp"
 #include "hci/hci.hpp"
 #include "hilbert/space_mapper.hpp"
@@ -33,6 +35,18 @@ int main() {
   const rtree::RtreeIndex rtree(sensors, kCapacity);
   const hci::HciIndex hci(sensors, mapper, kCapacity);
 
+  // One polymorphic view per index family: the query loop below no longer
+  // knows (or cares) which structure is on the air.
+  const air::DsiHandle dsi_air(dsi);
+  const air::RtreeHandle rtree_air(rtree);
+  const air::HciHandle hci_air(hci);
+  struct Service {
+    const char* name;
+    const air::AirIndexHandle* index;
+  };
+  const Service services[] = {
+      {"DSI", &dsi_air}, {"R-tree", &rtree_air}, {"HCI", &hci_air}};
+
   // The commuter's viewport: a 12% x 12% slice of the city.
   const common::Rect viewport{0.30, 0.55, 0.42, 0.67};
   const uint64_t tune_in = 777777;
@@ -44,31 +58,14 @@ int main() {
               "tuning KiB");
 
   size_t dsi_count = 0;
-  {
-    broadcast::ClientSession s(dsi.program(), tune_in,
+  for (const Service& svc : services) {
+    broadcast::ClientSession s(svc.index->program(), tune_in,
                                broadcast::ErrorModel{}, common::Rng(3));
-    core::DsiClient c(dsi, &s);
-    dsi_count = c.WindowQuery(viewport).size();
+    const auto client = svc.index->MakeClient(&s);
+    const size_t n = client->WindowQuery(viewport).size();
+    if (svc.index == &dsi_air) dsi_count = n;
     const auto m = s.metrics();
-    std::printf("%-8s%14zu%16.1f%14.1f\n", "DSI", dsi_count,
-                m.access_latency_bytes / 1024.0, m.tuning_bytes / 1024.0);
-  }
-  {
-    broadcast::ClientSession s(rtree.program(), tune_in,
-                               broadcast::ErrorModel{}, common::Rng(3));
-    rtree::RtreeClient c(rtree, &s);
-    const size_t n = c.WindowQuery(viewport).size();
-    const auto m = s.metrics();
-    std::printf("%-8s%14zu%16.1f%14.1f\n", "R-tree", n,
-                m.access_latency_bytes / 1024.0, m.tuning_bytes / 1024.0);
-  }
-  {
-    broadcast::ClientSession s(hci.program(), tune_in,
-                               broadcast::ErrorModel{}, common::Rng(3));
-    hci::HciClient c(hci, &s);
-    const size_t n = c.WindowQuery(viewport).size();
-    const auto m = s.metrics();
-    std::printf("%-8s%14zu%16.1f%14.1f\n", "HCI", n,
+    std::printf("%-8s%14zu%16.1f%14.1f\n", svc.name, n,
                 m.access_latency_bytes / 1024.0, m.tuning_bytes / 1024.0);
   }
 

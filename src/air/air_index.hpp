@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file air_index.hpp
+/// \brief The unified air-index abstraction: every index family that can be
+/// put on the broadcast channel (DSI, R-tree, HCI, exponential index, ...)
+/// is exposed through the same two interfaces so the simulation engine,
+/// benches and examples are written once against them.
+///
+///  * AirIndexHandle — the server side: names the family, owns/refers to the
+///    broadcast program, and constructs per-query clients.
+///  * AirClient — the client side of ONE query execution: the two spatial
+///    query kinds of the paper plus unified per-query diagnostics.
+///
+/// A handle is a thin non-owning view over a built index (the index must
+/// outlive the handle). Handles are immutable and safe to share across
+/// threads; each query gets its own ClientSession and AirClient.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "broadcast/client.hpp"
+#include "broadcast/program.hpp"
+#include "common/geometry.hpp"
+#include "datasets/datasets.hpp"
+
+namespace dsi::air {
+
+/// kNN search-space navigation tactic (Section 3.4 of the paper). Only DSI
+/// distinguishes the two; families without the notion ignore it.
+enum class KnnStrategy {
+  kConservative,  ///< Visit every frame that may hold a candidate.
+  kAggressive,    ///< Hop toward the query point; accept next-cycle revisits.
+};
+
+/// Unified per-query diagnostics. Metrics proper (latency/tuning bytes) come
+/// from the driving broadcast::ClientSession; these count what the client
+/// logic did with them.
+struct ClientStats {
+  uint64_t index_reads = 0;   ///< Index buckets read (tables / tree nodes).
+  uint64_t object_reads = 0;  ///< Data buckets read.
+  uint64_t buckets_lost = 0;  ///< Reads corrupted by link errors.
+  bool completed = true;      ///< False if the watchdog aborted the query.
+};
+
+/// One query execution against a broadcast air index. Construct via
+/// AirIndexHandle::MakeClient with a fresh session; run exactly one query.
+class AirClient {
+ public:
+  virtual ~AirClient() = default;
+
+  /// All objects inside \p window (exact).
+  virtual std::vector<datasets::SpatialObject> WindowQuery(
+      const common::Rect& window) = 0;
+
+  /// The \p k nearest objects to \p q (exact).
+  virtual std::vector<datasets::SpatialObject> KnnQuery(
+      const common::Point& q, size_t k, KnnStrategy strategy) = 0;
+
+  /// Convenience: kNN with the paper's default (conservative) tactic.
+  std::vector<datasets::SpatialObject> KnnQuery(const common::Point& q,
+                                                size_t k) {
+    return KnnQuery(q, k, KnnStrategy::kConservative);
+  }
+
+  virtual ClientStats stats() const = 0;
+};
+
+/// The server side of one broadcast air index.
+class AirIndexHandle {
+ public:
+  virtual ~AirIndexHandle() = default;
+
+  /// Short family name ("dsi", "rtree", "hci", "expindex").
+  virtual std::string_view family() const = 0;
+
+  /// The broadcast program clients tune into.
+  virtual const broadcast::BroadcastProgram& program() const = 0;
+
+  /// Constructs a client for one query over \p session. The session must be
+  /// fresh (InitialProbe not yet called) and outlive the client.
+  virtual std::unique_ptr<AirClient> MakeClient(
+      broadcast::ClientSession* session) const = 0;
+};
+
+}  // namespace dsi::air

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file dsi_handle.hpp
+/// \brief AirIndexHandle wrapper for the paper's Distributed Spatial Index.
+
+#include <memory>
+#include <string_view>
+
+#include "air/air_index.hpp"
+#include "dsi/index.hpp"
+
+namespace dsi::air {
+
+/// Non-owning handle over a built core::DsiIndex.
+class DsiHandle : public AirIndexHandle {
+ public:
+  explicit DsiHandle(const core::DsiIndex& index) : index_(index) {}
+
+  std::string_view family() const override { return "dsi"; }
+  const broadcast::BroadcastProgram& program() const override {
+    return index_.program();
+  }
+  std::unique_ptr<AirClient> MakeClient(
+      broadcast::ClientSession* session) const override;
+
+  const core::DsiIndex& index() const { return index_; }
+
+ private:
+  const core::DsiIndex& index_;
+};
+
+}  // namespace dsi::air

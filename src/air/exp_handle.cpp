@@ -1,0 +1,127 @@
+#include "air/exp_handle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "hilbert/interval_set.hpp"
+
+namespace dsi::air {
+
+ExpHandle::ExpHandle(std::vector<datasets::SpatialObject> objects,
+                     const hilbert::SpaceMapper& mapper,
+                     size_t packet_capacity, expindex::ExpConfig config)
+    : mapper_(mapper), objects_(std::move(objects)) {
+  // Key order must match ExpIndex's internal key sort: equal keys form a
+  // run, and range results are key-determined, so any tie order yields the
+  // same object set.
+  std::stable_sort(objects_.begin(), objects_.end(),
+                   [&](const datasets::SpatialObject& a,
+                       const datasets::SpatialObject& b) {
+                     return mapper_.PointToIndex(a.location) <
+                            mapper_.PointToIndex(b.location);
+                   });
+  std::vector<uint64_t> keys;
+  keys.reserve(objects_.size());
+  for (const auto& o : objects_) keys.push_back(mapper_.PointToIndex(o.location));
+  if (config.key_bytes == 0) {
+    // Packed cell-index width (2*order bits), matching DSI's compact tables.
+    config.key_bytes =
+        (2 * static_cast<uint32_t>(mapper_.curve().order()) + 7) / 8;
+  }
+  index_ = std::make_unique<expindex::ExpIndex>(std::move(keys),
+                                                packet_capacity, config);
+}
+
+namespace {
+
+class ExpAirClient : public AirClient {
+ public:
+  ExpAirClient(const ExpHandle& handle, broadcast::ClientSession* session)
+      : handle_(handle), client_(handle.index(), session) {}
+
+  std::vector<datasets::SpatialObject> WindowQuery(
+      const common::Rect& window) override {
+    std::vector<datasets::SpatialObject> out;
+    for (const hilbert::HcRange& r : handle_.mapper().WindowToRanges(window)) {
+      for (const uint32_t rank : client_.RangeQuery(r.lo, r.hi)) {
+        const datasets::SpatialObject& o = handle_.sorted_objects()[rank];
+        if (window.Contains(o.location)) out.push_back(o);
+      }
+      if (!client_.stats().completed) break;
+    }
+    return out;
+  }
+
+  std::vector<datasets::SpatialObject> KnnQuery(
+      const common::Point& q, size_t k, KnnStrategy /*strategy*/) override {
+    const size_t n = handle_.sorted_objects().size();
+    if (k == 0 || n == 0) return {};
+    const common::Rect& u = handle_.mapper().universe();
+    const double side = std::max(u.Width(), u.Height());
+    const double diameter = 2.0 * std::hypot(u.Width(), u.Height());
+    // Expected radius holding k uniform objects, with a floor of one cell.
+    double radius = std::max(
+        side * std::sqrt(static_cast<double>(std::min(k + 1, n)) /
+                         static_cast<double>(n)),
+        side / static_cast<double>(handle_.mapper().curve().side()));
+
+    hilbert::IntervalSet scanned;
+    std::map<uint32_t, datasets::SpatialObject> candidates;  // by rank
+    while (true) {
+      const auto targets = handle_.mapper().CircleToRanges(q, radius);
+      for (const hilbert::HcRange& r : scanned.Subtract(targets)) {
+        for (const uint32_t rank : client_.RangeQuery(r.lo, r.hi)) {
+          candidates.emplace(rank, handle_.sorted_objects()[rank]);
+        }
+        scanned.Add(r);
+        if (!client_.stats().completed) return Best(q, k, candidates);
+      }
+      // Exact once k candidates are confirmed inside the scanned circle:
+      // every object within `radius` lies in a cell intersecting the
+      // circle, and all such cells have been scanned.
+      size_t within = 0;
+      for (const auto& [rank, o] : candidates) {
+        if (common::Distance(q, o.location) <= radius) ++within;
+      }
+      if (within >= k || radius >= diameter) break;
+      radius = std::min(2.0 * radius, diameter);
+    }
+    return Best(q, k, candidates);
+  }
+
+  ClientStats stats() const override {
+    const expindex::ExpQueryStats& s = client_.stats();
+    return ClientStats{s.tables_read, s.items_read, s.buckets_lost,
+                       s.completed};
+  }
+
+ private:
+  static std::vector<datasets::SpatialObject> Best(
+      const common::Point& q, size_t k,
+      const std::map<uint32_t, datasets::SpatialObject>& candidates) {
+    std::vector<datasets::SpatialObject> out;
+    out.reserve(candidates.size());
+    for (const auto& [rank, o] : candidates) out.push_back(o);
+    std::sort(out.begin(), out.end(),
+              [&](const datasets::SpatialObject& a,
+                  const datasets::SpatialObject& b) {
+                return common::Distance(q, a.location) <
+                       common::Distance(q, b.location);
+              });
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+  const ExpHandle& handle_;
+  expindex::ExpClient client_;
+};
+
+}  // namespace
+
+std::unique_ptr<AirClient> ExpHandle::MakeClient(
+    broadcast::ClientSession* session) const {
+  return std::make_unique<ExpAirClient>(*this, session);
+}
+
+}  // namespace dsi::air

@@ -1,0 +1,39 @@
+#include "air/hci_handle.hpp"
+
+namespace dsi::air {
+
+namespace {
+
+class HciAirClient : public AirClient {
+ public:
+  HciAirClient(const hci::HciIndex& index, broadcast::ClientSession* session)
+      : client_(index, session) {}
+
+  std::vector<datasets::SpatialObject> WindowQuery(
+      const common::Rect& window) override {
+    return client_.WindowQuery(window);
+  }
+
+  std::vector<datasets::SpatialObject> KnnQuery(
+      const common::Point& q, size_t k, KnnStrategy /*strategy*/) override {
+    return client_.KnnQuery(q, k);
+  }
+
+  ClientStats stats() const override {
+    const hci::HciQueryStats& s = client_.stats();
+    return ClientStats{s.nodes_read, s.objects_read, s.buckets_lost,
+                       s.completed};
+  }
+
+ private:
+  hci::HciClient client_;
+};
+
+}  // namespace
+
+std::unique_ptr<AirClient> HciHandle::MakeClient(
+    broadcast::ClientSession* session) const {
+  return std::make_unique<HciAirClient>(index_, session);
+}
+
+}  // namespace dsi::air

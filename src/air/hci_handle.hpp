@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file hci_handle.hpp
+/// \brief AirIndexHandle wrapper for the Hilbert Curve Index baseline.
+
+#include <memory>
+#include <string_view>
+
+#include "air/air_index.hpp"
+#include "hci/hci.hpp"
+
+namespace dsi::air {
+
+/// Non-owning handle over a built hci::HciIndex.
+class HciHandle : public AirIndexHandle {
+ public:
+  explicit HciHandle(const hci::HciIndex& index) : index_(index) {}
+
+  std::string_view family() const override { return "hci"; }
+  const broadcast::BroadcastProgram& program() const override {
+    return index_.program();
+  }
+  std::unique_ptr<AirClient> MakeClient(
+      broadcast::ClientSession* session) const override;
+
+  const hci::HciIndex& index() const { return index_; }
+
+ private:
+  const hci::HciIndex& index_;
+};
+
+}  // namespace dsi::air

@@ -1,0 +1,40 @@
+#include "air/rtree_handle.hpp"
+
+namespace dsi::air {
+
+namespace {
+
+class RtreeAirClient : public AirClient {
+ public:
+  RtreeAirClient(const rtree::RtreeIndex& index,
+                 broadcast::ClientSession* session)
+      : client_(index, session) {}
+
+  std::vector<datasets::SpatialObject> WindowQuery(
+      const common::Rect& window) override {
+    return client_.WindowQuery(window);
+  }
+
+  std::vector<datasets::SpatialObject> KnnQuery(
+      const common::Point& q, size_t k, KnnStrategy /*strategy*/) override {
+    return client_.KnnQuery(q, k);
+  }
+
+  ClientStats stats() const override {
+    const rtree::RtreeQueryStats& s = client_.stats();
+    return ClientStats{s.nodes_read, s.objects_read, s.buckets_lost,
+                       s.completed};
+  }
+
+ private:
+  rtree::RtreeClient client_;
+};
+
+}  // namespace
+
+std::unique_ptr<AirClient> RtreeHandle::MakeClient(
+    broadcast::ClientSession* session) const {
+  return std::make_unique<RtreeAirClient>(index_, session);
+}
+
+}  // namespace dsi::air

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file rtree_handle.hpp
+/// \brief AirIndexHandle wrapper for the R-tree air-index baseline.
+
+#include <memory>
+#include <string_view>
+
+#include "air/air_index.hpp"
+#include "rtree/rtree_air.hpp"
+
+namespace dsi::air {
+
+/// Non-owning handle over a built rtree::RtreeIndex.
+class RtreeHandle : public AirIndexHandle {
+ public:
+  explicit RtreeHandle(const rtree::RtreeIndex& index) : index_(index) {}
+
+  std::string_view family() const override { return "rtree"; }
+  const broadcast::BroadcastProgram& program() const override {
+    return index_.program();
+  }
+  std::unique_ptr<AirClient> MakeClient(
+      broadcast::ClientSession* session) const override;
+
+  const rtree::RtreeIndex& index() const { return index_; }
+
+ private:
+  const rtree::RtreeIndex& index_;
+};
+
+}  // namespace dsi::air

@@ -1,110 +1,108 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
+#include <future>
+#include <thread>
+#include <vector>
+
 #include "common/rng.hpp"
 
 namespace dsi::sim {
 
 namespace {
 
-/// Shared driver: for each query, draw a uniform tune-in over the cycle and
-/// a private error stream, run the query, and accumulate session metrics.
-template <typename RunQuery>
-AvgMetrics Drive(const broadcast::BroadcastProgram& program, size_t n,
-                 double theta, broadcast::ErrorMode mode, uint64_t seed,
-                 RunQuery&& run_query) {
-  common::Rng rng(seed);
-  AvgMetrics avg;
-  for (size_t i = 0; i < n; ++i) {
+/// SplitMix64 finalizer: decorrelates consecutive query indices into
+/// independent per-query seeds. Forking by query index (not iteration
+/// order) is what makes sharded execution bit-identical to serial.
+uint64_t MixSeed(uint64_t seed, uint64_t query_index) {
+  uint64_t z = seed + (query_index + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Exact per-shard sums. Latency/tuning are integer byte counts, so shard
+/// merges are associative — no floating-point order sensitivity.
+struct ShardSums {
+  uint64_t latency_bytes = 0;
+  uint64_t tuning_bytes = 0;
+  size_t queries = 0;
+  size_t incomplete = 0;
+};
+
+ShardSums RunShard(const air::AirIndexHandle& index, const Workload& wl,
+                   uint64_t seed, size_t begin, size_t end) {
+  const broadcast::BroadcastProgram& program = index.program();
+  ShardSums sums;
+  for (size_t i = begin; i < end; ++i) {
+    common::Rng rng(MixSeed(seed, i));
     const auto tune_in = static_cast<uint64_t>(rng.UniformInt(
         0, static_cast<int64_t>(program.cycle_packets()) - 1));
-    broadcast::ClientSession session(program, tune_in,
-                                     broadcast::ErrorModel{theta, mode}, rng.Fork());
-    const bool completed = run_query(i, &session);
+    broadcast::ClientSession session(
+        program, tune_in, broadcast::ErrorModel{wl.theta, wl.error_mode},
+        rng.Fork());
+    const std::unique_ptr<air::AirClient> client = index.MakeClient(&session);
+    if (wl.kind == QueryKind::kWindow) {
+      (void)client->WindowQuery(wl.windows[i]);
+    } else {
+      (void)client->KnnQuery(wl.points[i], wl.k, wl.strategy);
+    }
     const broadcast::Metrics m = session.metrics();
-    avg.latency_bytes += static_cast<double>(m.access_latency_bytes);
-    avg.tuning_bytes += static_cast<double>(m.tuning_bytes);
-    ++avg.queries;
-    if (!completed) ++avg.incomplete;
+    sums.latency_bytes += m.access_latency_bytes;
+    sums.tuning_bytes += m.tuning_bytes;
+    ++sums.queries;
+    if (!client->stats().completed) ++sums.incomplete;
   }
-  if (avg.queries > 0) {
-    avg.latency_bytes /= static_cast<double>(avg.queries);
-    avg.tuning_bytes /= static_cast<double>(avg.queries);
-  }
-  return avg;
+  return sums;
 }
 
 }  // namespace
 
-AvgMetrics RunDsiWindow(const core::DsiIndex& index,
-                        const std::vector<common::Rect>& windows,
-                        double theta, uint64_t seed,
-                        broadcast::ErrorMode mode) {
-  return Drive(index.program(), windows.size(), theta, mode, seed,
-               [&](size_t i, broadcast::ClientSession* session) {
-                 core::DsiClient client(index, session);
-                 (void)client.WindowQuery(windows[i]);
-                 return client.stats().completed;
-               });
-}
+AvgMetrics RunWorkload(const air::AirIndexHandle& index,
+                       const Workload& workload, const RunOptions& options) {
+  const size_t n = workload.size();
+  AvgMetrics avg;
+  // Guard: an empty program has no packet to tune into (the tune-in draw
+  // would underflow), and an empty workload has nothing to average.
+  if (n == 0 || index.program().cycle_packets() == 0) return avg;
 
-AvgMetrics RunDsiKnn(const core::DsiIndex& index,
-                     const std::vector<common::Point>& points, size_t k,
-                     core::KnnStrategy strategy, double theta, uint64_t seed,
-                        broadcast::ErrorMode mode) {
-  return Drive(index.program(), points.size(), theta, mode, seed,
-               [&](size_t i, broadcast::ClientSession* session) {
-                 core::DsiClient client(index, session);
-                 (void)client.KnnQuery(points[i], k, strategy);
-                 return client.stats().completed;
-               });
-}
+  size_t workers =
+      options.workers != 0
+          ? options.workers
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  workers = std::min(workers, n);
 
-AvgMetrics RunRtreeWindow(const rtree::RtreeIndex& index,
-                          const std::vector<common::Rect>& windows,
-                          double theta, uint64_t seed,
-                        broadcast::ErrorMode mode) {
-  return Drive(index.program(), windows.size(), theta, mode, seed,
-               [&](size_t i, broadcast::ClientSession* session) {
-                 rtree::RtreeClient client(index, session);
-                 (void)client.WindowQuery(windows[i]);
-                 return client.stats().completed;
-               });
-}
+  ShardSums total;
+  if (workers <= 1) {
+    total = RunShard(index, workload, options.seed, 0, n);
+  } else {
+    std::vector<std::future<ShardSums>> shards;
+    shards.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      const size_t begin = n * w / workers;
+      const size_t end = n * (w + 1) / workers;
+      shards.push_back(std::async(std::launch::async, [&, begin, end] {
+        return RunShard(index, workload, options.seed, begin, end);
+      }));
+    }
+    for (auto& shard : shards) {
+      const ShardSums s = shard.get();
+      total.latency_bytes += s.latency_bytes;
+      total.tuning_bytes += s.tuning_bytes;
+      total.queries += s.queries;
+      total.incomplete += s.incomplete;
+    }
+  }
 
-AvgMetrics RunRtreeKnn(const rtree::RtreeIndex& index,
-                       const std::vector<common::Point>& points, size_t k,
-                       double theta, uint64_t seed,
-                        broadcast::ErrorMode mode) {
-  return Drive(index.program(), points.size(), theta, mode, seed,
-               [&](size_t i, broadcast::ClientSession* session) {
-                 rtree::RtreeClient client(index, session);
-                 (void)client.KnnQuery(points[i], k);
-                 return client.stats().completed;
-               });
-}
-
-AvgMetrics RunHciWindow(const hci::HciIndex& index,
-                        const std::vector<common::Rect>& windows,
-                        double theta, uint64_t seed,
-                        broadcast::ErrorMode mode) {
-  return Drive(index.program(), windows.size(), theta, mode, seed,
-               [&](size_t i, broadcast::ClientSession* session) {
-                 hci::HciClient client(index, session);
-                 (void)client.WindowQuery(windows[i]);
-                 return client.stats().completed;
-               });
-}
-
-AvgMetrics RunHciKnn(const hci::HciIndex& index,
-                     const std::vector<common::Point>& points, size_t k,
-                     double theta, uint64_t seed,
-                        broadcast::ErrorMode mode) {
-  return Drive(index.program(), points.size(), theta, mode, seed,
-               [&](size_t i, broadcast::ClientSession* session) {
-                 hci::HciClient client(index, session);
-                 (void)client.KnnQuery(points[i], k);
-                 return client.stats().completed;
-               });
+  avg.queries = total.queries;
+  avg.incomplete = total.incomplete;
+  if (total.queries > 0) {
+    avg.latency_bytes = static_cast<double>(total.latency_bytes) /
+                        static_cast<double>(total.queries);
+    avg.tuning_bytes = static_cast<double>(total.tuning_bytes) /
+                       static_cast<double>(total.queries);
+  }
+  return avg;
 }
 
 }  // namespace dsi::sim

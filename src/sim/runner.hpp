@@ -1,21 +1,23 @@
 #pragma once
 
 /// \file runner.hpp
-/// \brief Experiment runner: executes query workloads against a broadcast
-/// index with uniformly random tune-in instants and averages the two paper
-/// metrics (access latency and tuning time, in bytes).
+/// \brief The experiment engine: executes a Workload against any air index
+/// through the AirIndexHandle abstraction, with uniformly random tune-in
+/// instants, and averages the two paper metrics (access latency and tuning
+/// time, in bytes).
 ///
-/// Every Run* function is deterministic for a given seed; each query gets a
-/// fresh client session (one query = one mobile client tuning in).
+/// One query = one mobile client tuning in: every query gets a fresh
+/// ClientSession and AirClient. Queries are sharded across a configurable
+/// worker pool; randomness is forked per query INDEX (not per iteration
+/// order), and metrics accumulate in exact integer sums, so the averaged
+/// results are bit-identical for any worker count and fully determined by
+/// (workload, seed).
 
+#include <cstddef>
 #include <cstdint>
-#include <vector>
 
-#include "common/geometry.hpp"
-#include "dsi/client.hpp"
-#include "dsi/index.hpp"
-#include "hci/hci.hpp"
-#include "rtree/rtree_air.hpp"
+#include "air/air_index.hpp"
+#include "sim/workload.hpp"
 
 namespace dsi::sim {
 
@@ -33,34 +35,19 @@ struct AvgMetrics {
   }
 };
 
-AvgMetrics RunDsiWindow(const core::DsiIndex& index,
-                        const std::vector<common::Rect>& windows,
-                        double theta, uint64_t seed,
-    broadcast::ErrorMode mode = broadcast::ErrorMode::kPerReadLoss);
+/// Execution knobs of one run. The seed drives tune-in instants and error
+/// streams; workers only changes wall-clock time, never the result.
+struct RunOptions {
+  uint64_t seed = 0;
+  /// Worker threads to shard queries over; 0 = one per hardware thread.
+  size_t workers = 1;
+};
 
-AvgMetrics RunDsiKnn(const core::DsiIndex& index,
-                     const std::vector<common::Point>& points, size_t k,
-                     core::KnnStrategy strategy, double theta, uint64_t seed,
-    broadcast::ErrorMode mode = broadcast::ErrorMode::kPerReadLoss);
-
-AvgMetrics RunRtreeWindow(const rtree::RtreeIndex& index,
-                          const std::vector<common::Rect>& windows,
-                          double theta, uint64_t seed,
-    broadcast::ErrorMode mode = broadcast::ErrorMode::kPerReadLoss);
-
-AvgMetrics RunRtreeKnn(const rtree::RtreeIndex& index,
-                       const std::vector<common::Point>& points, size_t k,
-                       double theta, uint64_t seed,
-    broadcast::ErrorMode mode = broadcast::ErrorMode::kPerReadLoss);
-
-AvgMetrics RunHciWindow(const hci::HciIndex& index,
-                        const std::vector<common::Rect>& windows,
-                        double theta, uint64_t seed,
-    broadcast::ErrorMode mode = broadcast::ErrorMode::kPerReadLoss);
-
-AvgMetrics RunHciKnn(const hci::HciIndex& index,
-                     const std::vector<common::Point>& points, size_t k,
-                     double theta, uint64_t seed,
-    broadcast::ErrorMode mode = broadcast::ErrorMode::kPerReadLoss);
+/// Runs every query of \p workload against \p index and averages the
+/// session metrics. Returns a zeroed AvgMetrics for an empty workload or an
+/// empty broadcast program (nothing on air to tune into).
+AvgMetrics RunWorkload(const air::AirIndexHandle& index,
+                       const Workload& workload,
+                       const RunOptions& options = {});
 
 }  // namespace dsi::sim

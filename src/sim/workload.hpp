@@ -1,16 +1,68 @@
 #pragma once
 
 /// \file workload.hpp
-/// \brief Query workload generators for the evaluation: window queries with
-/// a given WinSideRatio and kNN query points, uniformly located over the
-/// universe (Section 4's setup).
+/// \brief Query workloads for the evaluation: the generators of Section 4's
+/// setup (window queries with a given WinSideRatio, uniform kNN points) and
+/// the Workload descriptor the experiment engine executes.
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "air/air_index.hpp"
+#include "broadcast/client.hpp"
 #include "common/geometry.hpp"
 
 namespace dsi::sim {
+
+/// The two spatial query kinds of the paper.
+enum class QueryKind {
+  kWindow,
+  kKnn,
+};
+
+/// A self-contained description of one experiment data point: what queries
+/// to run and under which channel error model. Executed against any index
+/// family by RunWorkload (see runner.hpp).
+struct Workload {
+  QueryKind kind = QueryKind::kWindow;
+  std::vector<common::Rect> windows;  ///< kWindow: one query per rect.
+  std::vector<common::Point> points;  ///< kKnn: one query per point.
+  size_t k = 10;                      ///< kKnn: neighbors per query.
+  air::KnnStrategy strategy = air::KnnStrategy::kConservative;
+  double theta = 0.0;  ///< Link-error rate (Section 5); 0 = lossless.
+  broadcast::ErrorMode error_mode = broadcast::ErrorMode::kPerReadLoss;
+
+  size_t size() const {
+    return kind == QueryKind::kWindow ? windows.size() : points.size();
+  }
+
+  static Workload Window(
+      std::vector<common::Rect> windows, double theta = 0.0,
+      broadcast::ErrorMode mode = broadcast::ErrorMode::kPerReadLoss) {
+    Workload w;
+    w.kind = QueryKind::kWindow;
+    w.windows = std::move(windows);
+    w.theta = theta;
+    w.error_mode = mode;
+    return w;
+  }
+
+  static Workload Knn(
+      std::vector<common::Point> points, size_t k,
+      air::KnnStrategy strategy = air::KnnStrategy::kConservative,
+      double theta = 0.0,
+      broadcast::ErrorMode mode = broadcast::ErrorMode::kPerReadLoss) {
+    Workload w;
+    w.kind = QueryKind::kKnn;
+    w.points = std::move(points);
+    w.k = k;
+    w.strategy = strategy;
+    w.theta = theta;
+    w.error_mode = mode;
+    return w;
+  }
+};
 
 /// \p n window queries of side WinSideRatio * universe side, centered
 /// uniformly at random and clipped to the universe.

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include "air/dsi_handle.hpp"
+#include "air/hci_handle.hpp"
+#include "air/rtree_handle.hpp"
 #include "datasets/datasets.hpp"
 #include "hilbert/space_mapper.hpp"
 #include "sim/runner.hpp"
@@ -19,6 +22,9 @@ class ResilienceFixture : public ::testing::Test {
         dsi_(objects_, mapper_, 64, MakeDsiConfig()),
         rtree_(objects_, 64),
         hci_(objects_, mapper_, 64),
+        dsi_air_(dsi_),
+        rtree_air_(rtree_),
+        hci_air_(hci_),
         windows_(sim::MakeWindowWorkload(12, 0.1, datasets::UnitUniverse(),
                                          21)) {}
 
@@ -28,20 +34,41 @@ class ResilienceFixture : public ::testing::Test {
     return c;
   }
 
+  sim::AvgMetrics RunWindow(const air::AirIndexHandle& index, double theta,
+                            uint64_t seed,
+                            broadcast::ErrorMode mode =
+                                broadcast::ErrorMode::kPerReadLoss) const {
+    return sim::RunWorkload(index, sim::Workload::Window(windows_, theta, mode),
+                            sim::RunOptions{seed});
+  }
+
+  sim::AvgMetrics RunWideWindow(const air::AirIndexHandle& index, double theta,
+                                broadcast::ErrorMode mode) const {
+    // A larger sample than the fixture workload: with a dozen queries the
+    // single-event deterioration of an index can sit at exactly 0%.
+    const auto windows =
+        sim::MakeWindowWorkload(32, 0.1, datasets::UnitUniverse(), 21);
+    return sim::RunWorkload(index, sim::Workload::Window(windows, theta, mode),
+                            sim::RunOptions{37});
+  }
+
   hilbert::SpaceMapper mapper_;
   std::vector<datasets::SpatialObject> objects_;
   core::DsiIndex dsi_;
   rtree::RtreeIndex rtree_;
   hci::HciIndex hci_;
+  air::DsiHandle dsi_air_;
+  air::RtreeHandle rtree_air_;
+  air::HciHandle hci_air_;
   std::vector<common::Rect> windows_;
 };
 
 TEST_F(ResilienceFixture, LatencyDeterioratesMonotonicallyInTheta) {
   double prev_dsi = 0.0, prev_rtree = 0.0, prev_hci = 0.0;
   for (const double theta : {0.0, 0.2, 0.5}) {
-    const auto d = sim::RunDsiWindow(dsi_, windows_, theta, 31);
-    const auto r = sim::RunRtreeWindow(rtree_, windows_, theta, 31);
-    const auto h = sim::RunHciWindow(hci_, windows_, theta, 31);
+    const auto d = RunWindow(dsi_air_, theta, 31);
+    const auto r = RunWindow(rtree_air_, theta, 31);
+    const auto h = RunWindow(hci_air_, theta, 31);
     EXPECT_EQ(d.incomplete, 0u);
     EXPECT_EQ(r.incomplete, 0u);
     EXPECT_EQ(h.incomplete, 0u);
@@ -60,12 +87,12 @@ TEST_F(ResilienceFixture, DsiDeterioratesLessThanTreesAtHighTheta) {
   // paper-calibrated single-event error model (see ErrorMode).
   const double theta = 0.5;
   constexpr auto kMode = broadcast::ErrorMode::kSingleEvent;
-  const auto d0 = sim::RunDsiWindow(dsi_, windows_, 0.0, 37, kMode);
-  const auto d1 = sim::RunDsiWindow(dsi_, windows_, theta, 37, kMode);
-  const auto r0 = sim::RunRtreeWindow(rtree_, windows_, 0.0, 37, kMode);
-  const auto r1 = sim::RunRtreeWindow(rtree_, windows_, theta, 37, kMode);
-  const auto h0 = sim::RunHciWindow(hci_, windows_, 0.0, 37, kMode);
-  const auto h1 = sim::RunHciWindow(hci_, windows_, theta, 37, kMode);
+  const auto d0 = RunWideWindow(dsi_air_, 0.0, kMode);
+  const auto d1 = RunWideWindow(dsi_air_, theta, kMode);
+  const auto r0 = RunWideWindow(rtree_air_, 0.0, kMode);
+  const auto r1 = RunWideWindow(rtree_air_, theta, kMode);
+  const auto h0 = RunWideWindow(hci_air_, 0.0, kMode);
+  const auto h1 = RunWideWindow(hci_air_, theta, kMode);
   const double dsi_det =
       sim::AvgMetrics::DeteriorationPct(d1.latency_bytes, d0.latency_bytes);
   const double rtree_det =
@@ -79,21 +106,23 @@ TEST_F(ResilienceFixture, DsiDeterioratesLessThanTreesAtHighTheta) {
 TEST_F(ResilienceFixture, KnnSurvivesHighLossPerRead) {
   // Even under the harsh per-read loss model DSI kNN completes exactly.
   const auto points = sim::MakeKnnWorkload(8, datasets::UnitUniverse(), 41);
-  const auto d = sim::RunDsiKnn(dsi_, points, 10,
-                                core::KnnStrategy::kConservative, 0.7, 43);
+  const auto d = sim::RunWorkload(
+      dsi_air_,
+      sim::Workload::Knn(points, 10, air::KnnStrategy::kConservative, 0.7),
+      sim::RunOptions{43});
   EXPECT_EQ(d.incomplete, 0u);
 }
 
 TEST_F(ResilienceFixture, KnnSurvivesHighLossSingleEvent) {
   const auto points = sim::MakeKnnWorkload(8, datasets::UnitUniverse(), 41);
   constexpr auto kMode = broadcast::ErrorMode::kSingleEvent;
-  const auto d = sim::RunDsiKnn(dsi_, points, 10,
-                                core::KnnStrategy::kConservative, 0.7, 43,
-                                kMode);
+  const auto workload = sim::Workload::Knn(
+      points, 10, air::KnnStrategy::kConservative, 0.7, kMode);
+  const auto d = sim::RunWorkload(dsi_air_, workload, sim::RunOptions{43});
   EXPECT_EQ(d.incomplete, 0u);
-  const auto h = sim::RunHciKnn(hci_, points, 10, 0.7, 43, kMode);
+  const auto h = sim::RunWorkload(hci_air_, workload, sim::RunOptions{43});
   EXPECT_EQ(h.incomplete, 0u);
-  const auto r = sim::RunRtreeKnn(rtree_, points, 10, 0.7, 43, kMode);
+  const auto r = sim::RunWorkload(rtree_air_, workload, sim::RunOptions{43});
   EXPECT_EQ(r.incomplete, 0u);
 }
 

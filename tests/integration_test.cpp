@@ -7,6 +7,9 @@
 #include <algorithm>
 #include <set>
 
+#include "air/dsi_handle.hpp"
+#include "air/hci_handle.hpp"
+#include "air/rtree_handle.hpp"
 #include "datasets/datasets.hpp"
 #include "dsi/client.hpp"
 #include "hci/hci.hpp"
@@ -122,17 +125,21 @@ TEST_F(IntegrationFixture, DsiBeatsHciOnKnnLatency) {
   // The paper's headline kNN result: DSI needs a fraction of HCI's access
   // latency (Figure 11).
   const auto points = sim::MakeKnnWorkload(15, datasets::UnitUniverse(), 11);
-  const auto dsi = sim::RunDsiKnn(dsi_, points, 10,
-                                  core::KnnStrategy::kConservative, 0.0, 3);
-  const auto hci = sim::RunHciKnn(hci_, points, 10, 0.0, 3);
+  const auto workload = sim::Workload::Knn(points, 10);
+  const auto dsi =
+      sim::RunWorkload(air::DsiHandle(dsi_), workload, sim::RunOptions{3});
+  const auto hci =
+      sim::RunWorkload(air::HciHandle(hci_), workload, sim::RunOptions{3});
   EXPECT_LT(dsi.latency_bytes, hci.latency_bytes);
 }
 
 TEST_F(IntegrationFixture, DsiBeatsRtreeOnKnnLatency) {
   const auto points = sim::MakeKnnWorkload(15, datasets::UnitUniverse(), 13);
-  const auto dsi = sim::RunDsiKnn(dsi_, points, 10,
-                                  core::KnnStrategy::kConservative, 0.0, 5);
-  const auto rt = sim::RunRtreeKnn(rtree_, points, 10, 0.0, 5);
+  const auto workload = sim::Workload::Knn(points, 10);
+  const auto dsi =
+      sim::RunWorkload(air::DsiHandle(dsi_), workload, sim::RunOptions{5});
+  const auto rt =
+      sim::RunWorkload(air::RtreeHandle(rtree_), workload, sim::RunOptions{5});
   EXPECT_LT(dsi.latency_bytes, rt.latency_bytes);
 }
 
@@ -149,10 +156,13 @@ TEST(PaperScaleTest, DsiBeatsBothOnNnTuning) {
   const rtree::RtreeIndex rt(objects, 64);
   const hci::HciIndex hci(objects, mapper, 64);
   const auto points = sim::MakeKnnWorkload(20, datasets::UnitUniverse(), 29);
+  const auto workload = sim::Workload::Knn(points, 1);
   const auto md =
-      sim::RunDsiKnn(dsi, points, 1, core::KnnStrategy::kConservative, 0.0, 7);
-  const auto mr = sim::RunRtreeKnn(rt, points, 1, 0.0, 7);
-  const auto mh = sim::RunHciKnn(hci, points, 1, 0.0, 7);
+      sim::RunWorkload(air::DsiHandle(dsi), workload, sim::RunOptions{7});
+  const auto mr =
+      sim::RunWorkload(air::RtreeHandle(rt), workload, sim::RunOptions{7});
+  const auto mh =
+      sim::RunWorkload(air::HciHandle(hci), workload, sim::RunOptions{7});
   // Latency dominance is the paper's headline and reproduces robustly.
   EXPECT_LT(md.latency_bytes, mr.latency_bytes);
   EXPECT_LT(md.latency_bytes, mh.latency_bytes);
@@ -169,7 +179,9 @@ TEST_F(IntegrationFixture, RealLikeDatasetWorksEndToEnd) {
   const core::DsiIndex dsi(real, mapper, 64, MakeDsiConfig());
   const auto windows =
       sim::MakeWindowWorkload(4, 0.1, datasets::UnitUniverse(), 15);
-  const auto m = sim::RunDsiWindow(dsi, windows, 0.0, 7);
+  const auto m = sim::RunWorkload(air::DsiHandle(dsi),
+                                  sim::Workload::Window(windows),
+                                  sim::RunOptions{7});
   EXPECT_EQ(m.incomplete, 0u);
   broadcast::ClientSession s(dsi.program(), 5, broadcast::ErrorModel{},
                              common::Rng(2));

@@ -1,0 +1,163 @@
+/// Serial/parallel parity of the experiment engine: RunWorkload shards
+/// queries across workers but forks randomness per query index and merges
+/// exact integer metric sums, so N workers must reproduce 1 worker
+/// bit-identically — for every index family and both query kinds, lossless
+/// and lossy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+#include "air/dsi_handle.hpp"
+#include "air/exp_handle.hpp"
+#include "air/hci_handle.hpp"
+#include "air/rtree_handle.hpp"
+#include "datasets/datasets.hpp"
+#include "hilbert/space_mapper.hpp"
+#include "sim/runner.hpp"
+#include "sim/workload.hpp"
+
+namespace dsi {
+namespace {
+
+class ParallelParityFixture : public ::testing::Test {
+ protected:
+  ParallelParityFixture()
+      : mapper_(datasets::UnitUniverse(), 8),
+        objects_(datasets::MakeUniform(300, datasets::UnitUniverse(), 19)),
+        dsi_(objects_, mapper_, 64, MakeDsiConfig()),
+        rtree_(objects_, 64),
+        hci_(objects_, mapper_, 64),
+        dsi_air_(dsi_),
+        rtree_air_(rtree_),
+        hci_air_(hci_),
+        exp_air_(objects_, mapper_, 64) {}
+
+  static core::DsiConfig MakeDsiConfig() {
+    core::DsiConfig c;
+    c.num_segments = 2;
+    return c;
+  }
+
+  std::vector<const air::AirIndexHandle*> Handles() const {
+    return {&dsi_air_, &rtree_air_, &hci_air_, &exp_air_};
+  }
+
+  static void ExpectIdentical(const sim::AvgMetrics& serial,
+                              const sim::AvgMetrics& parallel,
+                              std::string_view family, const char* kind) {
+    EXPECT_DOUBLE_EQ(serial.latency_bytes, parallel.latency_bytes)
+        << family << " " << kind;
+    EXPECT_DOUBLE_EQ(serial.tuning_bytes, parallel.tuning_bytes)
+        << family << " " << kind;
+    EXPECT_EQ(serial.queries, parallel.queries) << family << " " << kind;
+    EXPECT_EQ(serial.incomplete, parallel.incomplete)
+        << family << " " << kind;
+  }
+
+  hilbert::SpaceMapper mapper_;
+  std::vector<datasets::SpatialObject> objects_;
+  core::DsiIndex dsi_;
+  rtree::RtreeIndex rtree_;
+  hci::HciIndex hci_;
+  air::DsiHandle dsi_air_;
+  air::RtreeHandle rtree_air_;
+  air::HciHandle hci_air_;
+  air::ExpHandle exp_air_;
+};
+
+TEST_F(ParallelParityFixture, WindowParityAcrossFamilies) {
+  const auto windows =
+      sim::MakeWindowWorkload(9, 0.1, datasets::UnitUniverse(), 23);
+  const auto workload = sim::Workload::Window(windows);
+  for (const air::AirIndexHandle* handle : Handles()) {
+    const auto serial =
+        sim::RunWorkload(*handle, workload, sim::RunOptions{101, 1});
+    const auto parallel =
+        sim::RunWorkload(*handle, workload, sim::RunOptions{101, 4});
+    EXPECT_EQ(serial.queries, windows.size());
+    ExpectIdentical(serial, parallel, handle->family(), "window");
+  }
+}
+
+TEST_F(ParallelParityFixture, KnnParityAcrossFamilies) {
+  const auto points = sim::MakeKnnWorkload(9, datasets::UnitUniverse(), 27);
+  const auto workload = sim::Workload::Knn(points, 4);
+  for (const air::AirIndexHandle* handle : Handles()) {
+    const auto serial =
+        sim::RunWorkload(*handle, workload, sim::RunOptions{103, 1});
+    const auto parallel =
+        sim::RunWorkload(*handle, workload, sim::RunOptions{103, 3});
+    EXPECT_EQ(serial.queries, points.size());
+    ExpectIdentical(serial, parallel, handle->family(), "knn");
+  }
+}
+
+TEST_F(ParallelParityFixture, LossyChannelParity) {
+  // The per-query error streams must also be independent of sharding.
+  const auto windows =
+      sim::MakeWindowWorkload(8, 0.1, datasets::UnitUniverse(), 29);
+  for (const auto mode : {broadcast::ErrorMode::kPerReadLoss,
+                          broadcast::ErrorMode::kSingleEvent}) {
+    const auto workload = sim::Workload::Window(windows, 0.5, mode);
+    for (const air::AirIndexHandle* handle : Handles()) {
+      const auto serial =
+          sim::RunWorkload(*handle, workload, sim::RunOptions{107, 1});
+      const auto parallel =
+          sim::RunWorkload(*handle, workload, sim::RunOptions{107, 8});
+      ExpectIdentical(serial, parallel, handle->family(), "lossy window");
+    }
+  }
+}
+
+TEST_F(ParallelParityFixture, WorkerCountDoesNotLeakIntoSeeds) {
+  // 2, 3 and 5 workers split the 10 queries at different boundaries; all
+  // must agree because seeds derive from query indices, not shard order.
+  const auto points = sim::MakeKnnWorkload(10, datasets::UnitUniverse(), 31);
+  const auto workload = sim::Workload::Knn(points, 3);
+  const auto baseline =
+      sim::RunWorkload(dsi_air_, workload, sim::RunOptions{109, 1});
+  for (const size_t workers : {2u, 3u, 5u, 10u}) {
+    const auto sharded =
+        sim::RunWorkload(dsi_air_, workload, sim::RunOptions{109, workers});
+    ExpectIdentical(baseline, sharded, "dsi", "worker sweep");
+  }
+}
+
+TEST_F(ParallelParityFixture, ExpAdapterAnswersAreExact) {
+  // The 1-D exponential-index adapter must return exactly the objects an
+  // in-memory oracle finds, for both query kinds.
+  const auto windows =
+      sim::MakeWindowWorkload(4, 0.12, datasets::UnitUniverse(), 33);
+  for (const auto& w : windows) {
+    size_t oracle = 0;
+    for (const auto& o : objects_) {
+      if (w.Contains(o.location)) ++oracle;
+    }
+    broadcast::ClientSession session(exp_air_.program(), 97,
+                                     broadcast::ErrorModel{}, common::Rng(1));
+    const auto client = exp_air_.MakeClient(&session);
+    EXPECT_EQ(client->WindowQuery(w).size(), oracle);
+  }
+  const auto points = sim::MakeKnnWorkload(4, datasets::UnitUniverse(), 35);
+  for (const auto& q : points) {
+    std::vector<double> dists;
+    for (const auto& o : objects_) {
+      dists.push_back(common::Distance(q, o.location));
+    }
+    std::sort(dists.begin(), dists.end());
+    broadcast::ClientSession session(exp_air_.program(), 131,
+                                     broadcast::ErrorModel{}, common::Rng(2));
+    const auto client = exp_air_.MakeClient(&session);
+    const auto result = client->KnnQuery(q, 5);
+    ASSERT_EQ(result.size(), 5u);
+    for (size_t i = 0; i < result.size(); ++i) {
+      EXPECT_DOUBLE_EQ(common::Distance(q, result[i].location), dists[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsi

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include "air/dsi_handle.hpp"
+#include "air/hci_handle.hpp"
+#include "air/rtree_handle.hpp"
 #include "datasets/datasets.hpp"
 #include "hilbert/space_mapper.hpp"
 
@@ -30,6 +33,13 @@ TEST(WorkloadTest, DeterministicPerSeed) {
   for (size_t i = 0; i < p.size(); ++i) EXPECT_EQ(p[i], q[i]);
 }
 
+TEST(WorkloadTest, DescriptorSizeTracksKind) {
+  const auto windows = MakeWindowWorkload(5, 0.1, datasets::UnitUniverse(), 1);
+  const auto points = MakeKnnWorkload(7, datasets::UnitUniverse(), 2);
+  EXPECT_EQ(Workload::Window(windows).size(), 5u);
+  EXPECT_EQ(Workload::Knn(points, 3).size(), 7u);
+}
+
 TEST(RunnerTest, DsiWindowAveragesAreSane) {
   const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 8);
   const core::DsiIndex index(
@@ -37,7 +47,8 @@ TEST(RunnerTest, DsiWindowAveragesAreSane) {
       core::DsiConfig{});
   const auto windows =
       MakeWindowWorkload(20, 0.1, datasets::UnitUniverse(), 9);
-  const AvgMetrics m = RunDsiWindow(index, windows, 0.0, 11);
+  const AvgMetrics m = RunWorkload(air::DsiHandle(index),
+                                   Workload::Window(windows), RunOptions{11});
   EXPECT_EQ(m.queries, 20u);
   EXPECT_EQ(m.incomplete, 0u);
   EXPECT_GT(m.latency_bytes, 0.0);
@@ -52,12 +63,26 @@ TEST(RunnerTest, DeterministicForSeed) {
       datasets::MakeUniform(300, datasets::UnitUniverse(), 5), mapper, 64,
       core::DsiConfig{});
   const auto points = MakeKnnWorkload(10, datasets::UnitUniverse(), 13);
+  const auto workload = Workload::Knn(points, 5);
   const AvgMetrics a =
-      RunDsiKnn(index, points, 5, core::KnnStrategy::kConservative, 0.0, 17);
+      RunWorkload(air::DsiHandle(index), workload, RunOptions{17});
   const AvgMetrics b =
-      RunDsiKnn(index, points, 5, core::KnnStrategy::kConservative, 0.0, 17);
+      RunWorkload(air::DsiHandle(index), workload, RunOptions{17});
   EXPECT_DOUBLE_EQ(a.latency_bytes, b.latency_bytes);
   EXPECT_DOUBLE_EQ(a.tuning_bytes, b.tuning_bytes);
+}
+
+TEST(RunnerTest, EmptyWorkloadIsZeroed) {
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 8);
+  const core::DsiIndex index(
+      datasets::MakeUniform(100, datasets::UnitUniverse(), 5), mapper, 64,
+      core::DsiConfig{});
+  const AvgMetrics m =
+      RunWorkload(air::DsiHandle(index), Workload::Window({}), RunOptions{1});
+  EXPECT_EQ(m.queries, 0u);
+  EXPECT_EQ(m.incomplete, 0u);
+  EXPECT_DOUBLE_EQ(m.latency_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(m.tuning_bytes, 0.0);
 }
 
 TEST(RunnerTest, DeteriorationPct) {
@@ -66,22 +91,28 @@ TEST(RunnerTest, DeteriorationPct) {
   EXPECT_DOUBLE_EQ(AvgMetrics::DeteriorationPct(5.0, 0.0), 0.0);
 }
 
-TEST(RunnerTest, AllSixRunnersExecute) {
+TEST(RunnerTest, AllFamiliesRunBothQueryKinds) {
   const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 8);
   auto objects = datasets::MakeUniform(200, datasets::UnitUniverse(), 5);
   const core::DsiIndex dsi(objects, mapper, 64, core::DsiConfig{});
   const rtree::RtreeIndex rt(objects, 64);
   const hci::HciIndex hci(objects, mapper, 64);
+  const air::DsiHandle hd(dsi);
+  const air::RtreeHandle hr(rt);
+  const air::HciHandle hh(hci);
   const auto windows = MakeWindowWorkload(5, 0.1, datasets::UnitUniverse(), 1);
   const auto points = MakeKnnWorkload(5, datasets::UnitUniverse(), 2);
-  for (const AvgMetrics& m :
-       {RunDsiWindow(dsi, windows, 0.0, 3),
-        RunDsiKnn(dsi, points, 3, core::KnnStrategy::kAggressive, 0.0, 3),
-        RunRtreeWindow(rt, windows, 0.0, 3), RunRtreeKnn(rt, points, 3, 0.0, 3),
-        RunHciWindow(hci, windows, 0.0, 3), RunHciKnn(hci, points, 3, 0.0, 3)}) {
-    EXPECT_EQ(m.queries, 5u);
-    EXPECT_EQ(m.incomplete, 0u);
-    EXPECT_GT(m.latency_bytes, 0.0);
+  const Workload workloads[] = {
+      Workload::Window(windows),
+      Workload::Knn(points, 3, air::KnnStrategy::kAggressive)};
+  const air::AirIndexHandle* handles[] = {&hd, &hr, &hh};
+  for (const air::AirIndexHandle* handle : handles) {
+    for (const Workload& w : workloads) {
+      const AvgMetrics m = RunWorkload(*handle, w, RunOptions{3});
+      EXPECT_EQ(m.queries, 5u) << handle->family();
+      EXPECT_EQ(m.incomplete, 0u) << handle->family();
+      EXPECT_GT(m.latency_bytes, 0.0) << handle->family();
+    }
   }
 }
 
