@@ -28,6 +28,21 @@ void BM_HilbertCellToIndex(benchmark::State& state) {
 }
 BENCHMARK(BM_HilbertCellToIndex)->Arg(8)->Arg(16)->Arg(24);
 
+// The pre-LUT one-bit-per-step loop, for the speedup to be individually
+// visible next to BM_HilbertCellToIndex.
+void BM_HilbertCellToIndexReference(benchmark::State& state) {
+  const hilbert::HilbertCurve curve(static_cast<int>(state.range(0)));
+  common::Rng rng(1);
+  const auto x = static_cast<uint32_t>(
+      rng.UniformInt(0, static_cast<int64_t>(curve.side()) - 1));
+  const auto y = static_cast<uint32_t>(
+      rng.UniformInt(0, static_cast<int64_t>(curve.side()) - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.CellToIndexReference(x, y));
+  }
+}
+BENCHMARK(BM_HilbertCellToIndexReference)->Arg(8)->Arg(16)->Arg(24);
+
 void BM_HilbertIndexToCell(benchmark::State& state) {
   const hilbert::HilbertCurve curve(static_cast<int>(state.range(0)));
   common::Rng rng(2);
@@ -38,6 +53,17 @@ void BM_HilbertIndexToCell(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HilbertIndexToCell)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_HilbertIndexToCellReference(benchmark::State& state) {
+  const hilbert::HilbertCurve curve(static_cast<int>(state.range(0)));
+  common::Rng rng(2);
+  const auto d = static_cast<uint64_t>(
+      rng.UniformInt(0, static_cast<int64_t>(curve.num_cells()) - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.IndexToCellReference(d));
+  }
+}
+BENCHMARK(BM_HilbertIndexToCellReference)->Arg(8)->Arg(16)->Arg(24);
 
 void BM_WindowToRanges(benchmark::State& state) {
   const hilbert::SpaceMapper mapper(datasets::UnitUniverse(),
@@ -58,6 +84,31 @@ void BM_CircleToRanges(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CircleToRanges)->Arg(8)->Arg(10)->Arg(12);
+
+// Buffer-reuse variants of the decompositions: the kNN loop shape, where
+// the same output vector absorbs every re-decomposition.
+void BM_WindowToRangesInto(benchmark::State& state) {
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(),
+                                    static_cast<int>(state.range(0)));
+  const common::Rect w{0.4, 0.4, 0.5, 0.5};
+  std::vector<hilbert::HcRange> out;
+  for (auto _ : state) {
+    mapper.WindowToRanges(w, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_WindowToRangesInto)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_CircleToRangesInto(benchmark::State& state) {
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(),
+                                    static_cast<int>(state.range(0)));
+  std::vector<hilbert::HcRange> out;
+  for (auto _ : state) {
+    mapper.CircleToRanges(common::Point{0.45, 0.45}, 0.05, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_CircleToRangesInto)->Arg(8)->Arg(10)->Arg(12);
 
 void BM_IntervalSetAdd(benchmark::State& state) {
   common::Rng rng(3);

@@ -15,8 +15,11 @@
 /// outlive the handle). Handles are immutable and safe to share across
 /// threads; each query gets its own ClientSession and AirClient.
 
+#include <cstddef>
 #include <memory>
+#include <new>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "broadcast/client.hpp"
@@ -66,6 +69,46 @@ class AirClient {
   virtual ClientStats stats() const = 0;
 };
 
+/// Reusable storage for one AirClient at a time. The experiment engine
+/// runs millions of one-query clients; constructing each into a per-worker
+/// arena reuses one warm memory block instead of a heap round-trip per
+/// query. Create<T>() destroys the previous occupant, (re)uses the buffer,
+/// and placement-news the next client.
+class ClientArena {
+ public:
+  ClientArena() = default;
+  ClientArena(const ClientArena&) = delete;
+  ClientArena& operator=(const ClientArena&) = delete;
+  ~ClientArena() { DestroyCurrent(); }
+
+  template <class T, class... Args>
+  T* Create(Args&&... args) {
+    static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__);
+    DestroyCurrent();
+    if (capacity_ < sizeof(T)) {
+      buffer_.reset(new std::byte[sizeof(T)]);
+      capacity_ = sizeof(T);
+    }
+    T* obj = new (buffer_.get()) T(std::forward<Args>(args)...);
+    current_ = obj;
+    destroy_ = [](void* p) { static_cast<T*>(p)->~T(); };
+    return obj;
+  }
+
+  void DestroyCurrent() {
+    if (current_ != nullptr) {
+      destroy_(current_);
+      current_ = nullptr;
+    }
+  }
+
+ private:
+  std::unique_ptr<std::byte[]> buffer_;
+  size_t capacity_ = 0;
+  void* current_ = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
 /// The server side of one broadcast air index.
 class AirIndexHandle {
  public:
@@ -81,6 +124,12 @@ class AirIndexHandle {
   /// fresh (InitialProbe not yet called) and outlive the client.
   virtual std::unique_ptr<AirClient> MakeClient(
       broadcast::ClientSession* session) const = 0;
+
+  /// Arena variant of MakeClient: constructs the client inside \p arena
+  /// (which owns it — do not delete). The engine calls this with one arena
+  /// per worker, so back-to-back queries reuse the same storage.
+  virtual AirClient* MakeClientIn(ClientArena& arena,
+                                  broadcast::ClientSession* session) const = 0;
 };
 
 }  // namespace dsi::air

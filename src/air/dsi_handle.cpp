@@ -41,4 +41,9 @@ std::unique_ptr<AirClient> DsiHandle::MakeClient(
   return std::make_unique<DsiAirClient>(index_, session);
 }
 
+AirClient* DsiHandle::MakeClientIn(ClientArena& arena,
+                                  broadcast::ClientSession* session) const {
+  return arena.Create<DsiAirClient>(index_, session);
+}
+
 }  // namespace dsi::air

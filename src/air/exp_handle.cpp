@@ -124,4 +124,9 @@ std::unique_ptr<AirClient> ExpHandle::MakeClient(
   return std::make_unique<ExpAirClient>(*this, session);
 }
 
+AirClient* ExpHandle::MakeClientIn(ClientArena& arena,
+                                  broadcast::ClientSession* session) const {
+  return arena.Create<ExpAirClient>(*this, session);
+}
+
 }  // namespace dsi::air

@@ -48,6 +48,8 @@ class ExpHandle : public AirIndexHandle {
   }
   std::unique_ptr<AirClient> MakeClient(
       broadcast::ClientSession* session) const override;
+  AirClient* MakeClientIn(ClientArena& arena,
+                          broadcast::ClientSession* session) const override;
 
   const expindex::ExpIndex& index() const { return *index_; }
   const hilbert::SpaceMapper& mapper() const { return mapper_; }

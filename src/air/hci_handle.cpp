@@ -36,4 +36,9 @@ std::unique_ptr<AirClient> HciHandle::MakeClient(
   return std::make_unique<HciAirClient>(index_, session);
 }
 
+AirClient* HciHandle::MakeClientIn(ClientArena& arena,
+                                  broadcast::ClientSession* session) const {
+  return arena.Create<HciAirClient>(index_, session);
+}
+
 }  // namespace dsi::air

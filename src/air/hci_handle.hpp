@@ -22,6 +22,8 @@ class HciHandle : public AirIndexHandle {
   }
   std::unique_ptr<AirClient> MakeClient(
       broadcast::ClientSession* session) const override;
+  AirClient* MakeClientIn(ClientArena& arena,
+                          broadcast::ClientSession* session) const override;
 
   const hci::HciIndex& index() const { return index_; }
 

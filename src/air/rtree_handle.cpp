@@ -37,4 +37,9 @@ std::unique_ptr<AirClient> RtreeHandle::MakeClient(
   return std::make_unique<RtreeAirClient>(index_, session);
 }
 
+AirClient* RtreeHandle::MakeClientIn(ClientArena& arena,
+                                  broadcast::ClientSession* session) const {
+  return arena.Create<RtreeAirClient>(index_, session);
+}
+
 }  // namespace dsi::air

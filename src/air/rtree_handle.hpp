@@ -22,6 +22,8 @@ class RtreeHandle : public AirIndexHandle {
   }
   std::unique_ptr<AirClient> MakeClient(
       broadcast::ClientSession* session) const override;
+  AirClient* MakeClientIn(ClientArena& arena,
+                          broadcast::ClientSession* session) const override;
 
   const rtree::RtreeIndex& index() const { return index_; }
 

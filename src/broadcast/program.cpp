@@ -1,28 +1,28 @@
 #include "broadcast/program.hpp"
 
-#include <algorithm>
-
 namespace dsi::broadcast {
 
 size_t BroadcastProgram::SlotAtPacket(uint64_t cycle_packet) const {
   assert(finalized_);
   assert(cycle_packet < cycle_packets_);
-  // Find the last bucket whose start is <= cycle_packet.
-  auto it = std::upper_bound(
-      buckets_.begin(), buckets_.end(), cycle_packet,
-      [](uint64_t p, const Bucket& b) { return p < b.start_packet; });
-  assert(it != buckets_.begin());
-  return static_cast<size_t>(std::distance(buckets_.begin(), it)) - 1;
+  // Jump to the stride anchor at/before the packet, then walk forward; the
+  // stride matches the mean bucket length, so the walk is O(1) expected.
+  size_t slot = stride_slot_[cycle_packet / slot_stride_];
+  while (slot + 1 < buckets_.size() &&
+         buckets_[slot + 1].start_packet <= cycle_packet) {
+    ++slot;
+  }
+  return slot;
 }
 
 size_t BroadcastProgram::SlotStartingAtOrAfter(uint64_t cycle_packet) const {
   assert(finalized_);
   if (cycle_packet >= cycle_packets_) return 0;
-  auto it = std::lower_bound(
-      buckets_.begin(), buckets_.end(), cycle_packet,
-      [](const Bucket& b, uint64_t p) { return b.start_packet < p; });
-  if (it == buckets_.end()) return 0;
-  return static_cast<size_t>(std::distance(buckets_.begin(), it));
+  // The covering slot either starts exactly here or the next one is the
+  // first to start at/after (wrapping past the end of the cycle).
+  const size_t slot = SlotAtPacket(cycle_packet);
+  if (buckets_[slot].start_packet >= cycle_packet) return slot;
+  return slot + 1 < buckets_.size() ? slot + 1 : 0;
 }
 
 }  // namespace dsi::broadcast

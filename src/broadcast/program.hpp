@@ -12,6 +12,7 @@
 ///  * The program repeats forever; global time is measured in packets and
 ///    metrics are reported in bytes (packets x capacity).
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -64,6 +65,23 @@ class BroadcastProgram {
       off += b.packets;
     }
     cycle_packets_ = off;
+    // Packet -> slot acceleration: stride_slot_[i] is the slot covering
+    // packet i * slot_stride_. With the stride at the mean bucket length,
+    // SlotAtPacket finishes after O(1) expected forward steps — it runs on
+    // the per-session tune-in/doze hot path.
+    if (!buckets_.empty() && cycle_packets_ > 0) {
+      slot_stride_ = std::max<uint64_t>(1, cycle_packets_ / buckets_.size());
+      stride_slot_.resize(cycle_packets_ / slot_stride_ + 1);
+      size_t slot = 0;
+      for (size_t i = 0; i < stride_slot_.size(); ++i) {
+        const uint64_t packet = i * slot_stride_;
+        while (slot + 1 < buckets_.size() &&
+               buckets_[slot + 1].start_packet <= packet) {
+          ++slot;
+        }
+        stride_slot_[i] = slot;
+      }
+    }
     finalized_ = true;
   }
 
@@ -89,6 +107,8 @@ class BroadcastProgram {
   size_t packet_capacity_;
   std::vector<Bucket> buckets_;
   uint64_t cycle_packets_ = 0;
+  uint64_t slot_stride_ = 1;        // packets per stride-table entry
+  std::vector<size_t> stride_slot_; // coarse packet -> slot table
   bool finalized_ = false;
 };
 

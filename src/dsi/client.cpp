@@ -25,7 +25,12 @@ DsiClient::DsiClient(const DsiIndex& index, broadcast::ClientSession* session)
       session_(session),
       layout_(index.num_frames(), index.config().num_segments),
       hc_cells_(index.mapper().curve().num_cells()),
-      known_(layout_.m) {}
+      known_(layout_.m),
+      learned_tables_(index.num_frames(), false) {
+  for (uint32_t s = 0; s < layout_.m; ++s) {
+    known_[s].Init(layout_.SegmentLength(s));
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Public queries
@@ -34,11 +39,15 @@ DsiClient::DsiClient(const DsiIndex& index, broadcast::ClientSession* session)
 std::vector<datasets::SpatialObject> DsiClient::PointQuery(
     const common::Point& p) {
   const uint64_t h = index_.mapper().PointToIndex(p);
-  const std::vector<hilbert::HcRange> targets{hilbert::HcRange{h, h}};
-  RunSearch([&] { return targets; }, nullptr);
+  const hilbert::HcRange target{h, h};
+  RunSearch(
+      [&](std::vector<hilbert::HcRange>* out) { out->assign(1, target); },
+      nullptr);
   std::vector<datasets::SpatialObject> out;
-  for (const auto& [rank, obj] : retrieved_) {
-    if (index_.mapper().PointToIndex(obj.location) == h) out.push_back(obj);
+  for (const uint32_t rank : retrieved_ranks_) {
+    if (index_.object_hc(rank) == h) {
+      out.push_back(index_.sorted_objects()[rank]);
+    }
   }
   return out;
 }
@@ -47,9 +56,14 @@ std::vector<datasets::SpatialObject> DsiClient::WindowQuery(
     const common::Rect& window) {
   const std::vector<hilbert::HcRange> targets =
       index_.mapper().WindowToRanges(window);
-  RunSearch([&] { return targets; }, nullptr);
+  RunSearch(
+      [&](std::vector<hilbert::HcRange>* out) {
+        out->assign(targets.begin(), targets.end());
+      },
+      nullptr);
   std::vector<datasets::SpatialObject> out;
-  for (const auto& [rank, obj] : retrieved_) {
+  for (const uint32_t rank : retrieved_ranks_) {
+    const datasets::SpatialObject& obj = index_.sorted_objects()[rank];
     if (window.Contains(obj.location)) out.push_back(obj);
   }
   return out;
@@ -61,31 +75,87 @@ std::vector<datasets::SpatialObject> DsiClient::KnnQuery(
   const auto& mapper = index_.mapper();
 
   // Current search radius: k-th smallest upper-bound distance over exact
-  // (retrieved) and advertised (index-table) candidates.
-  auto radius_upper_bound = [&]() -> double {
-    std::vector<double> uppers;
-    uppers.reserve(retrieved_.size() + 16);
-    for (const auto& [rank, obj] : retrieved_) {
-      uppers.push_back(common::Distance(q, obj.location));
+  // (retrieved) and advertised (index-table) candidates. The candidate
+  // buffer is hoisted out of the refinement loop, per-advert distances are
+  // memoized (hc and q are fixed for the query), and adverts superseded by
+  // coverage stay superseded — covered_ only ever grows — so they are
+  // retired behind a bitmap instead of re-testing Covers every iteration.
+  struct AdvertCache {
+    std::vector<uint64_t> dist_known;
+    std::vector<uint64_t> superseded;
+    std::unique_ptr<double[]> dist;
+    void Init(uint32_t length) {
+      const size_t words = (length + 63) / 64;
+      dist_known.assign(words, 0);
+      superseded.assign(words, 0);
+      dist.reset(new double[length > 0 ? length : 1]);
     }
-    for (const auto& seg_known : known_) {
-      for (const auto& [off, hc] : seg_known) {
-        // Skip advertisements already superseded by exact retrievals.
-        if (covered_.Covers(hilbert::HcRange{hc, hc})) continue;
-        uppers.push_back(mapper.MaxDistanceToIndex(q, hc));
+  };
+  std::vector<AdvertCache> advert_cache(layout_.m);
+  for (uint32_t s = 0; s < layout_.m; ++s) {
+    advert_cache[s].Init(layout_.SegmentLength(s));
+  }
+  std::vector<double> uppers;
+  // Exact distances of retrieved objects, memoized in rank order (the rank
+  // list only gains elements, so a sorted-merge refresh computes each
+  // distance once).
+  std::vector<std::pair<uint32_t, double>> retrieved_dist;
+  auto radius_upper_bound = [&]() -> double {
+    uppers.clear();
+    size_t ci = 0;
+    for (const uint32_t rank : retrieved_ranks_) {
+      double d;
+      if (ci < retrieved_dist.size() && retrieved_dist[ci].first == rank) {
+        d = retrieved_dist[ci].second;
+      } else {
+        d = common::Distance(q, index_.sorted_objects()[rank].location);
+        retrieved_dist.insert(
+            retrieved_dist.begin() + static_cast<ptrdiff_t>(ci), {rank, d});
       }
+      uppers.push_back(d);
+      ++ci;
+    }
+    const std::vector<hilbert::HcRange>& cov = covered_.ranges();
+    for (uint32_t s = 0; s < layout_.m; ++s) {
+      AdvertCache& cache = advert_cache[s];
+      // Within a segment min-HC ascends with offset, so the coverage test
+      // is a forward merge-walk instead of a binary search per advert.
+      size_t cov_i = 0;
+      known_[s].ForEachKnown([&](uint32_t off, uint64_t hc) {
+        const uint64_t bit = uint64_t{1} << (off % 64);
+        if (cache.superseded[off / 64] & bit) return;
+        while (cov_i < cov.size() && cov[cov_i].hi < hc) ++cov_i;
+        // Skip advertisements already superseded by exact retrievals
+        // (coverage only grows, so superseded is a permanent state).
+        if (cov_i < cov.size() && cov[cov_i].lo <= hc) {
+          cache.superseded[off / 64] |= bit;
+          return;
+        }
+        if (!(cache.dist_known[off / 64] & bit)) {
+          cache.dist_known[off / 64] |= bit;
+          cache.dist[off] = mapper.MaxDistanceToIndex(q, hc);
+        }
+        uppers.push_back(cache.dist[off]);
+      });
     }
     if (uppers.size() < k) return std::numeric_limits<double>::infinity();
     std::nth_element(uppers.begin(), uppers.begin() + (k - 1), uppers.end());
     return uppers[k - 1];
   };
 
-  auto recompute = [&]() -> std::vector<hilbert::HcRange> {
+  double last_radius = std::numeric_limits<double>::quiet_NaN();
+  auto recompute = [&](std::vector<hilbert::HcRange>* out) {
     const double r = radius_upper_bound();
     if (std::isinf(r)) {
-      return {hilbert::HcRange{0, hc_cells_ - 1}};
+      last_radius = r;
+      out->assign(1, hilbert::HcRange{0, hc_cells_ - 1});
+      return;
     }
-    return mapper.CircleToRanges(q, r);
+    // Unchanged radius -> identical decomposition; the buffer still holds
+    // it (recompute is its only writer).
+    if (r == last_radius) return;
+    last_radius = r;
+    mapper.CircleToRanges(q, r, out);
   };
 
   RunSearch(recompute,
@@ -93,8 +163,10 @@ std::vector<datasets::SpatialObject> DsiClient::KnnQuery(
 
   // Answer: the k nearest retrieved objects.
   std::vector<datasets::SpatialObject> out;
-  out.reserve(retrieved_.size());
-  for (const auto& [rank, obj] : retrieved_) out.push_back(obj);
+  out.reserve(retrieved_ranks_.size());
+  for (const uint32_t rank : retrieved_ranks_) {
+    out.push_back(index_.sorted_objects()[rank]);
+  }
   std::sort(out.begin(), out.end(),
             [&](const datasets::SpatialObject& a,
                 const datasets::SpatialObject& b) {
@@ -110,9 +182,9 @@ std::vector<datasets::SpatialObject> DsiClient::KnnQuery(
 // Search driver
 // ---------------------------------------------------------------------------
 
-void DsiClient::RunSearch(
-    const std::function<std::vector<hilbert::HcRange>()>& recompute_targets,
-    const common::Point* spatial_goal) {
+template <class RecomputeTargets>
+void DsiClient::RunSearch(const RecomputeTargets& recompute_targets,
+                          const common::Point* spatial_goal) {
   session_->InitialProbe();
   deadline_packets_ = session_->now_packets() +
                       kWatchdogCycles * index_.program().cycle_packets();
@@ -120,20 +192,21 @@ void DsiClient::RunSearch(
       session_->now_packets() +
       kAggressiveFallbackCycles * index_.program().cycle_packets();
 
-  std::optional<DsiTableView> table = ReadNextTable();
-  if (!table) {
+  if (!ReadNextTable()) {
     stats_.completed = false;
     return;
   }
 
+  std::vector<hilbert::HcRange>& pending = pending_scratch_;
   while (true) {
-    std::vector<hilbert::HcRange> pending =
-        covered_.Subtract(recompute_targets());
+    recompute_targets(&targets_scratch_);
+    covered_.SubtractInto(targets_scratch_, &pending);
     if (pending.empty()) return;
 
-    if (FrameMayIntersect(table->position, pending)) {
-      ReadFrameObjects(table->position, table->own_hc_min);
-      pending = covered_.Subtract(recompute_targets());
+    if (FrameMayIntersect(table_.position, pending)) {
+      ReadFrameObjects(table_.position, table_.own_hc_min);
+      recompute_targets(&targets_scratch_);
+      covered_.SubtractInto(targets_scratch_, &pending);
       if (pending.empty()) return;
     }
 
@@ -146,11 +219,10 @@ void DsiClient::RunSearch(
         spatial_goal != nullptr &&
         session_->now_packets() < aggressive_deadline;
     const uint32_t next_pos =
-        aggressive ? SelectAggressiveHop(*table, pending, *spatial_goal)
-                   : SelectConservativeHop(*table, pending);
+        aggressive ? SelectAggressiveHop(table_, pending, *spatial_goal)
+                   : SelectConservativeHop(table_, pending);
     ++stats_.hops;
-    table = ReadTableAt(next_pos);
-    if (!table) {
+    if (!ReadTableAt(next_pos)) {
       stats_.completed = false;
       return;
     }
@@ -165,7 +237,7 @@ bool DsiClient::WatchdogExpired() const {
 // On-air reads
 // ---------------------------------------------------------------------------
 
-std::optional<DsiTableView> DsiClient::ReadNextTable() {
+bool DsiClient::ReadNextTable() {
   const auto& program = index_.program();
   const size_t nb = program.num_buckets();
   while (!WatchdogExpired()) {
@@ -176,27 +248,27 @@ std::optional<DsiTableView> DsiClient::ReadNextTable() {
     size_t guard = 0;
     while (program.bucket(slot).kind != broadcast::BucketKind::kDsiFrameTable) {
       slot = (slot + 1) % nb;
-      if (++guard > nb) return std::nullopt;  // no table in program
+      if (++guard > nb) return false;  // no table in program
     }
     if (session_->ReadBucket(slot)) {
       ++stats_.tables_read;
-      DsiTableView view = index_.TableAt(program.bucket(slot).payload);
-      Learn(view);
-      return view;
+      index_.TableAt(program.bucket(slot).payload, &table_);
+      Learn(table_);
+      return true;
     }
     ++stats_.buckets_lost;
     // Link error: resume from the next frame's table (fully distributed
     // recovery, Section 5).
   }
-  return std::nullopt;
+  return false;
 }
 
-std::optional<DsiTableView> DsiClient::ReadTableAt(uint32_t position) {
+bool DsiClient::ReadTableAt(uint32_t position) {
   if (session_->ReadBucket(index_.TableSlot(position))) {
     ++stats_.tables_read;
-    DsiTableView view = index_.TableAt(position);
-    Learn(view);
-    return view;
+    index_.TableAt(position, &table_);
+    Learn(table_);
+    return true;
   }
   ++stats_.buckets_lost;
   return ReadNextTable();
@@ -204,16 +276,13 @@ std::optional<DsiTableView> DsiClient::ReadTableAt(uint32_t position) {
 
 void DsiClient::ReadFrameObjects(uint32_t position, uint64_t own_hc) {
   const DsiIndex::FrameObjects fo = index_.ObjectsAt(position);
-  const auto& mapper = index_.mapper();
   bool all_present = true;
   uint64_t max_hc = own_hc;
   for (uint32_t i = 0; i < fo.count; ++i) {
     const uint32_t rank = fo.first_rank + i;
-    auto it = retrieved_.find(rank);
-    if (it == retrieved_.end()) {
+    if (!Retrieved(rank)) {
       if (session_->ReadBucket(fo.first_slot + i)) {
-        const datasets::SpatialObject& obj = index_.sorted_objects()[rank];
-        it = retrieved_.emplace(rank, obj).first;
+        MarkRetrieved(rank);
         ++stats_.objects_read;
       } else {
         ++stats_.buckets_lost;
@@ -221,7 +290,7 @@ void DsiClient::ReadFrameObjects(uint32_t position, uint64_t own_hc) {
         continue;
       }
     }
-    max_hc = std::max(max_hc, mapper.PointToIndex(it->second.location));
+    max_hc = std::max(max_hc, index_.object_hc(rank));
   }
   if (!all_present) return;  // span unconfirmed; revisited next cycle
 
@@ -251,8 +320,14 @@ void DsiClient::Learn(const DsiTableView& table) {
     const uint64_t head0 = index_.segment_head_hcs().front();
     if (head0 > 0) covered_.Add(hilbert::HcRange{0, head0 - 1});
   }
+  // A table's content is a pure function of its broadcast position, so
+  // re-reading one (the EEF loop revisits tables constantly) teaches
+  // nothing new — skip the entry recording wholesale.
+  if (learned_tables_[table.position]) return;
+  learned_tables_[table.position] = true;
   auto record = [&](uint32_t pos, uint64_t hc) {
-    known_[layout_.SegmentOfPosition(pos)][layout_.OffsetOfPosition(pos)] = hc;
+    known_[layout_.SegmentOfPosition(pos)].Record(layout_.OffsetOfPosition(pos),
+                                                  hc);
   };
   record(table.position, table.own_hc_min);
   for (const DsiTableEntry& e : table.entries) record(e.position, e.hc_min);
@@ -269,26 +344,35 @@ uint64_t DsiClient::SegmentDomainHiExcl(uint32_t seg) const {
 }
 
 uint64_t DsiClient::LowerBoundHc(uint32_t seg, uint32_t off) const {
-  const auto& m = known_[seg];
-  auto it = m.upper_bound(off);
-  if (it == m.begin()) return SegmentDomainLo(seg);
-  return std::prev(it)->second;
+  if (const auto v = known_[seg].FloorValue(off)) return *v;
+  return SegmentDomainLo(seg);
 }
 
 uint64_t DsiClient::UpperBoundHcExcl(uint32_t seg, uint32_t off) const {
-  const auto& m = known_[seg];
-  auto it = m.upper_bound(off);
-  if (it == m.end()) return SegmentDomainHiExcl(seg);
-  return it->second;
+  if (const auto v = known_[seg].CeilAboveValue(off)) return *v;
+  return SegmentDomainHiExcl(seg);
 }
 
 std::optional<uint64_t> DsiClient::NextFrameHcExcl(uint32_t seg,
                                                    uint32_t off) const {
   if (off + 1 >= layout_.SegmentLength(seg)) return SegmentDomainHiExcl(seg);
-  const auto& m = known_[seg];
-  auto it = m.find(off + 1);
-  if (it == m.end()) return std::nullopt;
-  return it->second;
+  return known_[seg].Find(off + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Retrieved objects
+// ---------------------------------------------------------------------------
+
+bool DsiClient::Retrieved(uint32_t rank) const {
+  return std::binary_search(retrieved_ranks_.begin(), retrieved_ranks_.end(),
+                            rank);
+}
+
+void DsiClient::MarkRetrieved(uint32_t rank) {
+  auto it = std::lower_bound(retrieved_ranks_.begin(), retrieved_ranks_.end(),
+                             rank);
+  assert(it == retrieved_ranks_.end() || *it != rank);
+  retrieved_ranks_.insert(it, rank);
 }
 
 // ---------------------------------------------------------------------------

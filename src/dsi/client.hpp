@@ -25,11 +25,18 @@
 /// Link errors: a lost table is recovered by reading the next frame's table
 /// (the fully distributed structure at work); a lost object bucket simply
 /// leaves its frame's span unconfirmed, so the loop revisits it next cycle.
+///
+/// Hot-path design: all per-query state lives in flat sorted vectors
+/// (knowledge, retrieved ranks) and the search loop reuses scratch buffers
+/// for targets/pending ranges, so a query allocates only while those
+/// buffers warm up — nothing per loop iteration or per hop.
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <map>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "broadcast/client.hpp"
@@ -53,6 +60,75 @@ struct QueryStats {
   uint64_t buckets_lost = 0;
   uint64_t hops = 0;
   bool completed = true;  ///< False if the watchdog aborted the query.
+};
+
+/// Flat (offset -> min-HC) knowledge for one broadcast segment. Offsets are
+/// dense in [0, segment length), so knowledge is a direct-indexed value
+/// array plus a presence bitmap: recording is O(1) and the
+/// predecessor/successor queries the navigation rules issue per hop are
+/// short word scans over the bitmap (the client's knowledge clusters around
+/// the offsets it travels through).
+class SegmentKnowledge {
+ public:
+  /// \param length Segment length in frames; offsets are < length. The
+  /// value array is left uninitialized — the bitmap is the source of truth.
+  void Init(uint32_t length) {
+    length_ = length;
+    words_ = (length + 63) / 64;
+    hc_.reset(new uint64_t[length_ > 0 ? length_ : 1]);
+    bits_.assign(words_, 0);
+  }
+
+  void Record(uint32_t off, uint64_t hc) {
+    bits_[off / 64] |= uint64_t{1} << (off % 64);
+    hc_[off] = hc;
+  }
+
+  /// Value of the last known offset <= \p off, or nullopt.
+  std::optional<uint64_t> FloorValue(uint32_t off) const {
+    size_t w = off / 64;
+    uint64_t word = bits_[w] & ((uint64_t{2} << (off % 64)) - 1);
+    while (word == 0) {
+      if (w == 0) return std::nullopt;
+      word = bits_[--w];
+    }
+    return hc_[w * 64 + (63 - std::countl_zero(word))];
+  }
+
+  /// Value of the first known offset > \p off, or nullopt.
+  std::optional<uint64_t> CeilAboveValue(uint32_t off) const {
+    size_t w = off / 64;
+    uint64_t word = bits_[w] & ~((uint64_t{2} << (off % 64)) - 1);
+    while (word == 0) {
+      if (++w >= words_) return std::nullopt;
+      word = bits_[w];
+    }
+    return hc_[w * 64 + std::countr_zero(word)];
+  }
+
+  /// Exact-offset lookup.
+  std::optional<uint64_t> Find(uint32_t off) const {
+    if ((bits_[off / 64] >> (off % 64)) & 1) return hc_[off];
+    return std::nullopt;
+  }
+
+  /// Invokes \p f(offset, hc) for every known entry, ascending by offset.
+  template <class F>
+  void ForEachKnown(F&& f) const {
+    for (size_t w = 0; w < words_; ++w) {
+      for (uint64_t word = bits_[w]; word != 0; word &= word - 1) {
+        const uint32_t off =
+            static_cast<uint32_t>(w * 64 + std::countr_zero(word));
+        f(off, hc_[off]);
+      }
+    }
+  }
+
+ private:
+  uint32_t length_ = 0;
+  size_t words_ = 0;
+  std::unique_ptr<uint64_t[]> hc_;  // by offset; valid where the bit is set
+  std::vector<uint64_t> bits_;
 };
 
 /// One query execution against a DSI broadcast.
@@ -80,12 +156,12 @@ class DsiClient {
  private:
   // --- on-air reads -------------------------------------------------------
   /// Dozes to the next table at/after the session's current slot, reads it
-  /// (skipping ahead frame by frame past link errors), learns its content.
-  /// Returns nullopt only if the watchdog expires.
-  std::optional<DsiTableView> ReadNextTable();
-  /// Dozes to the table of \p position and reads it (with loss recovery,
-  /// which may return a *different*, later table).
-  std::optional<DsiTableView> ReadTableAt(uint32_t position);
+  /// into table_ (skipping ahead frame by frame past link errors), learns
+  /// its content. Returns false only if the watchdog expires.
+  bool ReadNextTable();
+  /// Dozes to the table of \p position and reads it into table_ (with loss
+  /// recovery, which may land on a *different*, later table).
+  bool ReadTableAt(uint32_t position);
   /// Reads all object buckets of the frame at \p position (whose table was
   /// just read, own min-HC \p own_hc); records retrieved objects and
   /// confirms coverage when complete.
@@ -102,6 +178,13 @@ class DsiClient {
   /// Exact min-HC of the next frame in the segment, if known (domain hi
   /// when \p off is the segment's last frame).
   std::optional<uint64_t> NextFrameHcExcl(uint32_t seg, uint32_t off) const;
+
+  // --- retrieved objects ---------------------------------------------------
+  /// Ranks (= ids into index_.sorted_objects()) retrieved so far, sorted.
+  /// Object payloads are never copied: the simulated read is paid through
+  /// the session and the data comes from the server-side store.
+  bool Retrieved(uint32_t rank) const;
+  void MarkRetrieved(uint32_t rank);
 
   // --- relevance reasoning -------------------------------------------------
   bool RangesIntersect(const std::vector<hilbert::HcRange>& pending,
@@ -126,12 +209,13 @@ class DsiClient {
                                const common::Point& q) const;
 
   /// Shared driver: runs the pending-targets loop until no targets remain.
-  /// \p recompute_targets is invoked after every learning step to produce
-  /// the current target ranges (static for window queries, circle-derived
-  /// for kNN); aggressive kNN passes \p spatial_goal.
-  void RunSearch(
-      const std::function<std::vector<hilbert::HcRange>()>& recompute_targets,
-      const common::Point* spatial_goal);
+  /// \p recompute_targets(out) is invoked after every learning step to
+  /// produce the current target ranges into the scratch buffer (static for
+  /// window queries, circle-derived for kNN); aggressive kNN passes
+  /// \p spatial_goal. Templated so the per-iteration call inlines.
+  template <class RecomputeTargets>
+  void RunSearch(const RecomputeTargets& recompute_targets,
+                 const common::Point* spatial_goal);
 
   bool WatchdogExpired() const;
 
@@ -140,14 +224,23 @@ class DsiClient {
   ReorgLayout layout_;
   uint64_t hc_cells_;  // total number of HC values (domain size)
 
-  // Learned knowledge: per segment, offset -> min-HC of that frame.
-  std::vector<std::map<uint32_t, uint64_t>> known_;
+  // Learned knowledge: per segment, sorted (offset, min-HC) entries.
+  std::vector<SegmentKnowledge> known_;
+  // Broadcast positions whose table was already learned (table content is
+  // deterministic per position, so re-reads skip the record pass).
+  std::vector<bool> learned_tables_;
   bool heads_known_ = false;
 
   hilbert::IntervalSet covered_;
-  std::map<uint32_t, datasets::SpatialObject> retrieved_;  // by object rank
+  std::vector<uint32_t> retrieved_ranks_;  // sorted object ranks
   QueryStats stats_;
   uint64_t deadline_packets_ = 0;
+
+  // Scratch reused across the RunSearch loop (and across reads): the most
+  // recently received table and the target/pending range buffers.
+  DsiTableView table_;
+  std::vector<hilbert::HcRange> targets_scratch_;
+  std::vector<hilbert::HcRange> pending_scratch_;
 };
 
 }  // namespace dsi::core

@@ -145,20 +145,25 @@ uint64_t DsiIndex::FrameMinHcAtPosition(uint32_t position) const {
 }
 
 DsiTableView DsiIndex::TableAt(uint32_t position) const {
-  assert(position < num_frames_);
   DsiTableView view;
-  view.position = position;
-  view.own_hc_min = FrameMinHcAtPosition(position);
-  view.entries.reserve(entries_per_table_);
+  TableAt(position, &view);
+  return view;
+}
+
+void DsiIndex::TableAt(uint32_t position, DsiTableView* out) const {
+  assert(position < num_frames_);
+  out->position = position;
+  out->own_hc_min = FrameMinHcAtPosition(position);
+  out->entries.clear();
+  out->entries.reserve(entries_per_table_);
   uint64_t reach = 1;
   for (uint32_t i = 0; i < entries_per_table_; ++i) {
     const uint32_t target = static_cast<uint32_t>(
         (position + reach) % num_frames_);
-    view.entries.push_back(DsiTableEntry{FrameMinHcAtPosition(target),
+    out->entries.push_back(DsiTableEntry{FrameMinHcAtPosition(target),
                                          target});
     reach *= config_.index_base;
   }
-  return view;
 }
 
 size_t DsiIndex::TableSlot(uint32_t position) const {

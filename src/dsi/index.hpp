@@ -104,6 +104,10 @@ class DsiIndex {
   /// decodes it. Cheap (assembled from precomputed layout).
   DsiTableView TableAt(uint32_t position) const;
 
+  /// Assembles the table into \p out, reusing its entry storage (the
+  /// client re-reads a table every hop; this keeps the hop allocation-free).
+  void TableAt(uint32_t position, DsiTableView* out) const;
+
   /// Program slot of the table bucket of the frame at \p position.
   size_t TableSlot(uint32_t position) const;
 

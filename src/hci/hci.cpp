@@ -54,7 +54,7 @@ HciClient::HciClient(const HciIndex& index, broadcast::ClientSession* session)
     : index_(index),
       session_(session),
       node_cache_(index.tree().num_nodes(), false),
-      retrieved_(index.sorted_objects().size()) {
+      retrieved_(index.sorted_objects().size(), 0) {
   session_->InitialProbe();
   deadline_packets_ = session_->now_packets() +
                       kWatchdogCycles * index_.program().cycle_packets();
@@ -75,8 +75,20 @@ bool HciClient::ReadNode(uint32_t node_id) {
       ++stats_.nodes_read;
       node_cache_[node_id] = true;
       if (index_.tree().is_leaf(node_id)) {
-        cached_leaf_by_front_[index_.tree().entries(node_id).front().key] =
-            node_id;
+        // Keep the (first key -> leaf) anchors sorted; a query downloads
+        // few distinct leaves, so ordered insertion into the flat vector
+        // is cheaper than a node-based map.
+        const uint64_t front_key = index_.tree().entries(node_id).front().key;
+        auto it = std::lower_bound(
+            cached_leaf_by_front_.begin(), cached_leaf_by_front_.end(),
+            front_key, [](const std::pair<uint64_t, uint32_t>& e, uint64_t v) {
+              return e.first < v;
+            });
+        if (it != cached_leaf_by_front_.end() && it->first == front_key) {
+          it->second = node_id;
+        } else {
+          cached_leaf_by_front_.insert(it, {front_key, node_id});
+        }
       }
       return true;
     }
@@ -90,11 +102,11 @@ bool HciClient::ReadNode(uint32_t node_id) {
 }
 
 bool HciClient::ReadData(uint32_t data_id) {
-  if (retrieved_[data_id].has_value()) return true;
+  if (retrieved_[data_id]) return true;
   while (!WatchdogExpired()) {
     if (session_->ReadBucket(index_.air().DataSlot(data_id))) {
       ++stats_.objects_read;
-      retrieved_[data_id] = index_.sorted_objects()[data_id];
+      retrieved_[data_id] = 1;
       return true;
     }
     ++stats_.buckets_lost;  // retry next cycle
@@ -141,7 +153,12 @@ void HciClient::RetrieveRanges(const std::vector<hilbert::HcRange>& targets) {
     // key equals it). The range's content is reachable from the anchor by
     // a forward leaf scan (keys ascend with leaf id).
     uint32_t anchor = UINT32_MAX;
-    if (auto it = cached_leaf_by_front_.lower_bound(range.lo);
+    if (auto it = std::lower_bound(
+            cached_leaf_by_front_.begin(), cached_leaf_by_front_.end(),
+            range.lo,
+            [](const std::pair<uint64_t, uint32_t>& e, uint64_t v) {
+              return e.first < v;
+            });
         it != cached_leaf_by_front_.begin()) {
       anchor = std::prev(it)->second;
     }
@@ -189,8 +206,7 @@ void HciClient::RetrieveRanges(const std::vector<hilbert::HcRange>& targets) {
     while (true) {
       const auto& es = tree.entries(node);
       for (const bptree::BptEntry& e : es) {
-        if (e.key >= range.lo && e.key <= range.hi &&
-            !retrieved_[e.child].has_value()) {
+        if (e.key >= range.lo && e.key <= range.hi && !retrieved_[e.child]) {
           pending_data_.push_back(e.child);
         }
       }
@@ -228,8 +244,11 @@ std::vector<datasets::SpatialObject> HciClient::WindowQuery(
     const common::Rect& window) {
   RetrieveRanges(index_.mapper().WindowToRanges(window));
   std::vector<datasets::SpatialObject> out;
-  for (const auto& o : retrieved_) {
-    if (o.has_value() && window.Contains(o->location)) out.push_back(*o);
+  const auto& objects = index_.sorted_objects();
+  for (size_t i = 0; i < retrieved_.size(); ++i) {
+    if (retrieved_[i] && window.Contains(objects[i].location)) {
+      out.push_back(objects[i]);
+    }
   }
   return out;
 }
@@ -293,8 +312,9 @@ std::vector<datasets::SpatialObject> HciClient::KnnQuery(
   RetrieveRanges(mapper.CircleToRanges(q, radius));
 
   std::vector<datasets::SpatialObject> out;
-  for (const auto& o : retrieved_) {
-    if (o.has_value()) out.push_back(*o);
+  const auto& objects = index_.sorted_objects();
+  for (size_t i = 0; i < retrieved_.size(); ++i) {
+    if (retrieved_[i]) out.push_back(objects[i]);
   }
   std::sort(out.begin(), out.end(),
             [&](const datasets::SpatialObject& a,

@@ -13,8 +13,7 @@
 /// weakness the paper's Figure 11 exposes.
 
 #include <cstdint>
-#include <map>
-#include <optional>
+#include <utility>
 #include <vector>
 
 #include "bptree/bptree.hpp"
@@ -96,11 +95,14 @@ class HciClient {
   /// memory, so revisiting one is free (re-reading it off the air would
   /// cost a whole extra cycle).
   std::vector<bool> node_cache_;
-  /// Cached leaves by their first key, so a later range that lands in an
-  /// already-downloaded leaf skips the descent entirely.
-  std::map<uint64_t, uint32_t> cached_leaf_by_front_;
+  /// Cached leaves by their first key (sorted flat vector), so a later
+  /// range that lands in an already-downloaded leaf skips the descent
+  /// entirely.
+  std::vector<std::pair<uint64_t, uint32_t>> cached_leaf_by_front_;
   std::vector<uint32_t> pending_data_;  // data ids to retrieve
-  std::vector<std::optional<datasets::SpatialObject>> retrieved_;
+  /// Retrieved flags by data id; payloads are never copied — the simulated
+  /// read is paid via the session and the data lives in the index.
+  std::vector<uint8_t> retrieved_;
   HciQueryStats stats_;
   uint64_t deadline_packets_ = 0;
 };

@@ -6,12 +6,112 @@
 
 namespace dsi::hilbert {
 
+namespace {
+
+/// Nibble-batched automaton tables: four bit-levels advance per lookup.
+///
+/// Forward: state x (x-nibble << 4 | y-nibble) -> 8 curve digits packed
+/// MSB-first plus the next state, as digits << 2 | state.
+constexpr auto kForward4 = [] {
+  std::array<std::array<uint16_t, 256>, 4> t{};
+  for (uint16_t s = 0; s < 4; ++s) {
+    for (uint16_t in = 0; in < 256; ++in) {
+      uint8_t state = static_cast<uint8_t>(s);
+      uint16_t digits = 0;
+      for (int b = 3; b >= 0; --b) {
+        const uint8_t bx = (in >> (4 + b)) & 1;
+        const uint8_t by = (in >> b) & 1;
+        const detail::HilbertStep step = detail::ForwardStep(state, bx, by);
+        digits = static_cast<uint16_t>((digits << 2) | step.digit);
+        state = step.next;
+      }
+      t[s][in] = static_cast<uint16_t>((digits << 2) | state);
+    }
+  }
+  return t;
+}();
+
+/// Inverse: state x 8 curve digits (MSB-first) -> x-nibble, y-nibble and
+/// next state, packed as x << 6 | y << 2 | state.
+constexpr auto kInverse4 = [] {
+  std::array<std::array<uint16_t, 256>, 4> t{};
+  for (uint16_t s = 0; s < 4; ++s) {
+    for (uint16_t in = 0; in < 256; ++in) {
+      uint8_t state = static_cast<uint8_t>(s);
+      uint16_t x = 0;
+      uint16_t y = 0;
+      for (int b = 3; b >= 0; --b) {
+        const uint8_t digit = (in >> (2 * b)) & 3;
+        const detail::HilbertCell c = detail::InverseStep(state, digit);
+        x = static_cast<uint16_t>((x << 1) | c.dx);
+        y = static_cast<uint16_t>((y << 1) | c.dy);
+        state = c.next;
+      }
+      t[s][in] = static_cast<uint16_t>((x << 6) | (y << 2) | state);
+    }
+  }
+  return t;
+}();
+
+}  // namespace
+
 HilbertCurve::HilbertCurve(int order) : order_(order) {
   assert(order >= 1 && order <= 31);
   side_ = uint64_t{1} << order_;
 }
 
-uint64_t HilbertCurve::CellToIndex(uint32_t x_in, uint32_t y_in) const {
+uint64_t HilbertCurve::CellToIndex(uint32_t x, uint32_t y) const {
+  assert(x < side_ && y < side_);
+  uint64_t d = 0;
+  uint8_t state = 0;
+  int bit = order_;
+  // Head: bring the remaining bit count to a multiple of 4 one bit at a
+  // time (the automaton state depends on the true top bits; zero-padding
+  // to a nibble boundary would change it).
+  while (bit % 4 != 0) {
+    --bit;
+    const detail::HilbertStep step =
+        detail::ForwardStep(state, (x >> bit) & 1, (y >> bit) & 1);
+    d = (d << 2) | step.digit;
+    state = step.next;
+  }
+  while (bit > 0) {
+    bit -= 4;
+    const uint32_t in = (((x >> bit) & 0xF) << 4) | ((y >> bit) & 0xF);
+    const uint16_t packed = kForward4[state][in];
+    d = (d << 8) | (packed >> 2);
+    state = packed & 3;
+  }
+  return d;
+}
+
+std::pair<uint32_t, uint32_t> HilbertCurve::IndexToCell(uint64_t index) const {
+  assert(index < num_cells());
+  uint32_t x = 0;
+  uint32_t y = 0;
+  uint8_t state = 0;
+  int bit = order_;
+  while (bit % 4 != 0) {
+    --bit;
+    const detail::HilbertCell c =
+        detail::kInverseStep[state][(index >> (2 * bit)) & 3];
+    x = (x << 1) | c.dx;
+    y = (y << 1) | c.dy;
+    state = c.next;
+  }
+  while (bit > 0) {
+    bit -= 4;
+    const uint16_t packed =
+        kInverse4[state][(index >> (2 * bit)) & 0xFF];
+    x = (x << 4) | (packed >> 6);
+    y = (y << 4) | ((packed >> 2) & 0xF);
+    state = packed & 3;
+  }
+  return {x, y};
+}
+
+uint64_t HilbertCurve::CellToIndexReference(uint32_t x_in,
+                                            uint32_t y_in) const {
   assert(x_in < side_ && y_in < side_);
   uint64_t x = x_in;
   uint64_t y = y_in;
@@ -35,7 +135,8 @@ uint64_t HilbertCurve::CellToIndex(uint32_t x_in, uint32_t y_in) const {
   return d;
 }
 
-std::pair<uint32_t, uint32_t> HilbertCurve::IndexToCell(uint64_t index) const {
+std::pair<uint32_t, uint32_t> HilbertCurve::IndexToCellReference(
+    uint64_t index) const {
   assert(index < num_cells());
   uint64_t t = index;
   uint64_t x = 0;
@@ -60,79 +161,65 @@ std::pair<uint32_t, uint32_t> HilbertCurve::IndexToCell(uint64_t index) const {
 std::vector<HcRange> HilbertCurve::RangesMatching(
     const BlockClassifier& classify) const {
   std::vector<HcRange> out;
-  RangesRecurse(0, side_, classify, &out);
-  return NormalizeRanges(std::move(out));
+  RangesMatching<BlockClassifier>(classify, &out);
+  return out;
+}
+
+void HilbertCurve::RangesInCellRect(uint32_t x_lo, uint32_t y_lo,
+                                    uint32_t x_hi, uint32_t y_hi,
+                                    std::vector<HcRange>* out) const {
+  assert(x_lo <= x_hi && y_lo <= y_hi);
+  assert(x_hi < side_ && y_hi < side_);
+  RangesMatching(
+      [=](uint64_t bx, uint64_t by, uint64_t side) {
+        const uint64_t bx_hi = bx + side - 1;
+        const uint64_t by_hi = by + side - 1;
+        if (bx > x_hi || bx_hi < x_lo || by > y_hi || by_hi < y_lo) {
+          return BlockClass::kDisjoint;
+        }
+        if (bx >= x_lo && bx_hi <= x_hi && by >= y_lo && by_hi <= y_hi) {
+          return BlockClass::kFull;
+        }
+        return BlockClass::kPartial;
+      },
+      out);
 }
 
 std::vector<HcRange> HilbertCurve::RangesInCellRect(uint32_t x_lo,
                                                     uint32_t y_lo,
                                                     uint32_t x_hi,
                                                     uint32_t y_hi) const {
-  assert(x_lo <= x_hi && y_lo <= y_hi);
-  assert(x_hi < side_ && y_hi < side_);
-  return RangesMatching([=](uint64_t bx, uint64_t by, uint64_t side) {
-    const uint64_t bx_hi = bx + side - 1;
-    const uint64_t by_hi = by + side - 1;
-    if (bx > x_hi || bx_hi < x_lo || by > y_hi || by_hi < y_lo) {
-      return BlockClass::kDisjoint;
-    }
-    if (bx >= x_lo && bx_hi <= x_hi && by >= y_lo && by_hi <= y_hi) {
-      return BlockClass::kFull;
-    }
-    return BlockClass::kPartial;
-  });
+  std::vector<HcRange> out;
+  RangesInCellRect(x_lo, y_lo, x_hi, y_hi, &out);
+  return out;
 }
 
-void HilbertCurve::RangesRecurse(uint64_t hc_base, uint64_t block_side,
-                                 const BlockClassifier& classify,
-                                 std::vector<HcRange>* out) const {
-  // The quadtree block holding curve indexes [hc_base, hc_base + side^2) is
-  // an alignment-snapped square: locate it via any member cell.
-  const auto [cx, cy] = IndexToCell(hc_base);
-  const uint64_t bx = cx & ~(block_side - 1);
-  const uint64_t by = cy & ~(block_side - 1);
-
-  switch (classify(bx, by, block_side)) {
-    case BlockClass::kDisjoint:
-      return;
-    case BlockClass::kFull:
-      out->push_back(HcRange{hc_base, hc_base + block_side * block_side - 1});
-      return;
-    case BlockClass::kPartial:
-      break;
+void NormalizeRangesInPlace(std::vector<HcRange>* ranges) {
+  if (ranges->empty()) return;
+  constexpr auto less = [](const HcRange& a, const HcRange& b) {
+    return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+  };
+  // The quadtree descent emits ranges already sorted; sorting is a cheap
+  // no-op then, and keeps the function total for arbitrary callers.
+  if (!std::is_sorted(ranges->begin(), ranges->end(), less)) {
+    std::sort(ranges->begin(), ranges->end(), less);
   }
-  if (block_side == 1) {
-    // A single cell classified partial counts as a match (the classifier
-    // could not prune it); emit it so the decomposition stays conservative.
-    out->push_back(HcRange{hc_base, hc_base});
-    return;
+  size_t w = 0;  // write index of the last merged range
+  for (size_t i = 1; i < ranges->size(); ++i) {
+    HcRange& back = (*ranges)[w];
+    // Merge overlapping or adjacent ranges ([0,3] + [4,9] -> [0,9]).
+    if ((*ranges)[i].lo <= back.hi + 1) {
+      back.hi = std::max(back.hi, (*ranges)[i].hi);
+    } else {
+      (*ranges)[++w] = (*ranges)[i];
+    }
   }
-  const uint64_t child_side = block_side / 2;
-  const uint64_t child_cells = child_side * child_side;
-  for (uint64_t q = 0; q < 4; ++q) {
-    RangesRecurse(hc_base + q * child_cells, child_side, classify, out);
-  }
+  ranges->resize(w + 1);
 }
 
 std::vector<HcRange> NormalizeRanges(std::vector<HcRange> ranges) {
-  if (ranges.empty()) return ranges;
-  std::sort(ranges.begin(), ranges.end(),
-            [](const HcRange& a, const HcRange& b) {
-              return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
-            });
-  std::vector<HcRange> merged;
-  merged.reserve(ranges.size());
-  merged.push_back(ranges.front());
-  for (size_t i = 1; i < ranges.size(); ++i) {
-    HcRange& back = merged.back();
-    // Merge overlapping or adjacent ranges ([0,3] + [4,9] -> [0,9]).
-    if (ranges[i].lo <= back.hi + 1) {
-      back.hi = std::max(back.hi, ranges[i].hi);
-    } else {
-      merged.push_back(ranges[i]);
-    }
-  }
-  return merged;
+  NormalizeRangesInPlace(&ranges);
+  return ranges;
 }
 
 }  // namespace dsi::hilbert

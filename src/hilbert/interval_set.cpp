@@ -45,24 +45,40 @@ bool IntervalSet::Covers(const HcRange& r) const {
 std::vector<HcRange> IntervalSet::Subtract(
     const std::vector<HcRange>& targets) const {
   std::vector<HcRange> out;
+  SubtractInto(targets, &out);
+  return out;
+}
+
+void IntervalSet::SubtractInto(const std::vector<HcRange>& targets,
+                               std::vector<HcRange>* out_ptr) const {
+  std::vector<HcRange>& out = *out_ptr;
+  out.clear();
+  // Linear merge: targets are normalized (sorted, disjoint) on every hot
+  // path, so the cursor into this set only moves forward — O(|targets| +
+  // |set|) instead of a binary search per target. The guard below restores
+  // correctness for unsorted callers by rewinding.
+  auto it = ranges_.begin();
+  uint64_t prev_lo = 0;
   for (const HcRange& t : targets) {
+    if (t.lo < prev_lo) it = ranges_.begin();  // unsorted input: rewind
+    prev_lo = t.lo;
+    // Ranges ending before this target cannot touch any later target.
+    while (it != ranges_.end() && it->hi < t.lo) ++it;
     uint64_t cur = t.lo;
-    auto it = std::lower_bound(
-        ranges_.begin(), ranges_.end(), t.lo,
-        [](const HcRange& a, uint64_t v) { return a.hi < v; });
     bool open = true;
-    while (it != ranges_.end() && it->lo <= t.hi) {
-      if (it->lo > cur) out.push_back(HcRange{cur, it->lo - 1});
-      if (it->hi >= t.hi) {
+    // A set range may span several targets; walk with a local cursor so it
+    // stays available for the next target.
+    for (auto jt = it; jt != ranges_.end() && jt->lo <= t.hi; ++jt) {
+      if (jt->lo > cur) out.push_back(HcRange{cur, jt->lo - 1});
+      if (jt->hi >= t.hi) {
         open = false;
         break;
       }
-      cur = it->hi + 1;
-      ++it;
+      cur = jt->hi + 1;
     }
     if (open && cur <= t.hi) out.push_back(HcRange{cur, t.hi});
   }
-  return NormalizeRanges(std::move(out));
+  NormalizeRangesInPlace(out_ptr);
 }
 
 }  // namespace dsi::hilbert

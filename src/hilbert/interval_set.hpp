@@ -33,6 +33,11 @@ class IntervalSet {
   /// yet covered, normalized.
   std::vector<HcRange> Subtract(const std::vector<HcRange>& targets) const;
 
+  /// Subtract into a caller-provided buffer (cleared first); the hot-path
+  /// form — the pending-target loop calls this every iteration.
+  void SubtractInto(const std::vector<HcRange>& targets,
+                    std::vector<HcRange>* out) const;
+
   const std::vector<HcRange>& ranges() const { return ranges_; }
 
  private:

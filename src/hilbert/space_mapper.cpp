@@ -43,24 +43,33 @@ common::Rect SpaceMapper::IndexToCellRect(uint64_t index) const {
                       universe_.min_y + (cy + 1) * cell_h_};
 }
 
-std::vector<HcRange> SpaceMapper::WindowToRanges(
-    const common::Rect& window) const {
+void SpaceMapper::WindowToRanges(const common::Rect& window,
+                                 std::vector<HcRange>* out) const {
+  out->clear();
   common::Rect w = window;
   w.min_x = std::max(w.min_x, universe_.min_x);
   w.min_y = std::max(w.min_y, universe_.min_y);
   w.max_x = std::min(w.max_x, universe_.max_x);
   w.max_y = std::min(w.max_y, universe_.max_y);
-  if (w.IsEmpty()) return {};
+  if (w.IsEmpty()) return;
   const auto [x_lo, y_lo] = PointToCell(common::Point{w.min_x, w.min_y});
   const auto [x_hi, y_hi] = PointToCell(common::Point{w.max_x, w.max_y});
-  return curve_.RangesInCellRect(x_lo, y_lo, x_hi, y_hi);
+  curve_.RangesInCellRect(x_lo, y_lo, x_hi, y_hi, out);
 }
 
-std::vector<HcRange> SpaceMapper::CircleToRanges(const common::Point& center,
-                                                 double radius) const {
-  if (radius < 0.0) return {};
+std::vector<HcRange> SpaceMapper::WindowToRanges(
+    const common::Rect& window) const {
+  std::vector<HcRange> out;
+  WindowToRanges(window, &out);
+  return out;
+}
+
+void SpaceMapper::CircleToRanges(const common::Point& center, double radius,
+                                 std::vector<HcRange>* out) const {
+  out->clear();
+  if (radius < 0.0) return;
   const double r2 = radius * radius;
-  return curve_.RangesMatching(
+  curve_.RangesMatching(
       [&](uint64_t bx, uint64_t by, uint64_t side) {
         const common::Rect block{
             universe_.min_x + static_cast<double>(bx) * cell_w_,
@@ -74,7 +83,15 @@ std::vector<HcRange> SpaceMapper::CircleToRanges(const common::Point& center,
           return HilbertCurve::BlockClass::kFull;
         }
         return HilbertCurve::BlockClass::kPartial;
-      });
+      },
+      out);
+}
+
+std::vector<HcRange> SpaceMapper::CircleToRanges(const common::Point& center,
+                                                 double radius) const {
+  std::vector<HcRange> out;
+  CircleToRanges(center, radius, &out);
+  return out;
 }
 
 double SpaceMapper::MinDistanceToIndex(const common::Point& q,

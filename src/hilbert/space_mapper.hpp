@@ -47,14 +47,25 @@ class SpaceMapper {
   common::Rect IndexToCellRect(uint64_t index) const;
 
   /// Decomposes a query window into the sorted maximal curve ranges whose
-  /// cells overlap the window (the paper's "target segments" H). The cell
-  /// granularity makes this a superset filter: retrieved objects must still
-  /// be checked against the window.
+  /// cells overlap the window (the paper's "target segments" H), into the
+  /// caller-provided \p out buffer. The cell granularity makes this a
+  /// superset filter: retrieved objects must still be checked against the
+  /// window.
+  void WindowToRanges(const common::Rect& window,
+                      std::vector<HcRange>* out) const;
+
+  /// Allocating convenience overload.
   std::vector<HcRange> WindowToRanges(const common::Rect& window) const;
 
   /// Decomposes the disc of radius \p radius around \p center into the
   /// sorted maximal curve ranges of cells intersecting it (superset filter,
-  /// like WindowToRanges). Used by kNN search spaces ("circles").
+  /// like WindowToRanges), into \p out. Used by kNN search spaces
+  /// ("circles"), which re-decompose per refinement step — hence the
+  /// reusable buffer.
+  void CircleToRanges(const common::Point& center, double radius,
+                      std::vector<HcRange>* out) const;
+
+  /// Allocating convenience overload.
   std::vector<HcRange> CircleToRanges(const common::Point& center,
                                       double radius) const;
 

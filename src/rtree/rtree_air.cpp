@@ -27,7 +27,7 @@ RtreeClient::RtreeClient(const RtreeIndex& index,
     : index_(index),
       session_(session),
       node_cache_(index.tree().num_nodes(), false),
-      retrieved_(index.str_objects().size()) {
+      retrieved_(index.str_objects().size(), 0) {
   session_->InitialProbe();
   deadline_packets_ = session_->now_packets() +
                       kWatchdogCycles * index_.program().cycle_packets();
@@ -56,11 +56,11 @@ bool RtreeClient::ReadNode(uint32_t node_id) {
 }
 
 bool RtreeClient::ReadData(uint32_t data_id) {
-  if (retrieved_[data_id].has_value()) return true;
+  if (retrieved_[data_id]) return true;
   while (!WatchdogExpired()) {
     if (session_->ReadBucket(index_.air().DataSlot(data_id))) {
       ++stats_.objects_read;
-      retrieved_[data_id] = index_.str_objects()[data_id];
+      retrieved_[data_id] = 1;
       return true;
     }
     ++stats_.buckets_lost;
@@ -147,7 +147,7 @@ std::vector<datasets::SpatialObject> RtreeClient::WindowQuery(
       if (tree.is_leaf(node)) {
         // Leaf entries carry the exact point: membership is known here,
         // the payload still has to be fetched from the data segment.
-        if (!retrieved_[e.child].has_value()) pending_data_.push_back(e.child);
+        if (!retrieved_[e.child]) pending_data_.push_back(e.child);
       } else {
         frontier.push_back(e.child);
       }
@@ -155,8 +155,11 @@ std::vector<datasets::SpatialObject> RtreeClient::WindowQuery(
   }
   DrainPendingData();
   std::vector<datasets::SpatialObject> out;
-  for (const auto& o : retrieved_) {
-    if (o.has_value() && window.Contains(o->location)) out.push_back(*o);
+  const auto& objects = index_.str_objects();
+  for (size_t i = 0; i < retrieved_.size(); ++i) {
+    if (retrieved_[i] && window.Contains(objects[i].location)) {
+      out.push_back(objects[i]);
+    }
   }
   return out;
 }
@@ -214,15 +217,15 @@ std::vector<datasets::SpatialObject> RtreeClient::KnnQuery(
 
   // Fetch the answer objects' payloads.
   for (const Candidate& c : candidates) {
-    if (!retrieved_[c.data_id].has_value()) pending_data_.push_back(c.data_id);
+    if (!retrieved_[c.data_id]) pending_data_.push_back(c.data_id);
   }
   DrainPendingData();
 
   std::vector<datasets::SpatialObject> out;
   out.reserve(candidates.size());
   for (const Candidate& c : candidates) {
-    if (retrieved_[c.data_id].has_value()) {
-      out.push_back(*retrieved_[c.data_id]);
+    if (retrieved_[c.data_id]) {
+      out.push_back(index_.str_objects()[c.data_id]);
     }
   }
   return out;

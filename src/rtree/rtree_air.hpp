@@ -7,7 +7,6 @@
 /// out of broadcast order costs a full extra cycle).
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "broadcast/air_tree.hpp"
@@ -82,7 +81,9 @@ class RtreeClient {
   /// Index nodes already downloaded this query (kept in client memory).
   std::vector<bool> node_cache_;
   std::vector<uint32_t> pending_data_;
-  std::vector<std::optional<datasets::SpatialObject>> retrieved_;
+  /// Retrieved flags by data id; payloads come from the index's object
+  /// store rather than per-query copies.
+  std::vector<uint8_t> retrieved_;
   RtreeQueryStats stats_;
   uint64_t deadline_packets_ = 0;
 };

@@ -1,11 +1,11 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
-#include <future>
 #include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace dsi::sim {
 
@@ -33,6 +33,9 @@ struct ShardSums {
 ShardSums RunShard(const air::AirIndexHandle& index, const Workload& wl,
                    uint64_t seed, size_t begin, size_t end) {
   const broadcast::BroadcastProgram& program = index.program();
+  // One arena per pool thread, kept warm across shards AND RunWorkload
+  // calls: every query constructs its client into recycled storage.
+  thread_local air::ClientArena arena;
   ShardSums sums;
   for (size_t i = begin; i < end; ++i) {
     common::Rng rng(MixSeed(seed, i));
@@ -41,7 +44,7 @@ ShardSums RunShard(const air::AirIndexHandle& index, const Workload& wl,
     broadcast::ClientSession session(
         program, tune_in, broadcast::ErrorModel{wl.theta, wl.error_mode},
         rng.Fork());
-    const std::unique_ptr<air::AirClient> client = index.MakeClient(&session);
+    air::AirClient* client = index.MakeClientIn(arena, &session);
     if (wl.kind == QueryKind::kWindow) {
       (void)client->WindowQuery(wl.windows[i]);
     } else {
@@ -76,17 +79,17 @@ AvgMetrics RunWorkload(const air::AirIndexHandle& index,
   if (workers <= 1) {
     total = RunShard(index, workload, options.seed, 0, n);
   } else {
-    std::vector<std::future<ShardSums>> shards;
-    shards.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
+    // Shard boundaries depend only on (n, workers); per-query seeds depend
+    // only on the query index, so any worker count reproduces the serial
+    // result exactly. The pool persists across calls — no thread spawn per
+    // data point.
+    std::vector<ShardSums> shard_sums(workers);
+    WorkerPool::Instance().Run(workers, [&](size_t w) {
       const size_t begin = n * w / workers;
       const size_t end = n * (w + 1) / workers;
-      shards.push_back(std::async(std::launch::async, [&, begin, end] {
-        return RunShard(index, workload, options.seed, begin, end);
-      }));
-    }
-    for (auto& shard : shards) {
-      const ShardSums s = shard.get();
+      shard_sums[w] = RunShard(index, workload, options.seed, begin, end);
+    });
+    for (const ShardSums& s : shard_sums) {
       total.latency_bytes += s.latency_bytes;
       total.tuning_bytes += s.tuning_bytes;
       total.queries += s.queries;

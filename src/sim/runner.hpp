@@ -7,11 +7,12 @@
 /// time, in bytes).
 ///
 /// One query = one mobile client tuning in: every query gets a fresh
-/// ClientSession and AirClient. Queries are sharded across a configurable
-/// worker pool; randomness is forked per query INDEX (not per iteration
-/// order), and metrics accumulate in exact integer sums, so the averaged
-/// results are bit-identical for any worker count and fully determined by
-/// (workload, seed).
+/// ClientSession and AirClient (the latter built into a per-worker arena so
+/// back-to-back queries recycle storage). Queries are sharded across a
+/// persistent worker pool (threads parked between calls); randomness is
+/// forked per query INDEX (not per iteration order), and metrics accumulate
+/// in exact integer sums, so the averaged results are bit-identical for any
+/// worker count and fully determined by (workload, seed).
 
 #include <cstddef>
 #include <cstdint>

@@ -1,0 +1,134 @@
+#include "sim/worker_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsi::sim {
+
+namespace {
+
+/// Grown-thread ceiling: enough to saturate any realistic host while
+/// bounding resources if a caller asks for absurd worker counts.
+constexpr size_t kMaxPoolThreads = 256;
+
+thread_local bool t_inside_pool = false;
+
+}  // namespace
+
+struct WorkerPool::Impl {
+  std::mutex run_mutex;  // serializes Run() callers
+
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> threads;
+  bool stopping = false;
+
+  // Current job; valid while task != nullptr. `active` counts workers that
+  // hold a reference to the job's state — Run() tears the job down only
+  // once every task finished AND no worker references it, so a worker that
+  // wakes late can never claim indices from a newer job with a stale task.
+  const std::function<void(size_t)>* task = nullptr;
+  size_t job_count = 0;
+  uint64_t job_generation = 0;
+  std::atomic<size_t> next_index{0};
+  size_t finished = 0;
+  size_t active = 0;
+
+  void WorkerLoop() {
+    t_inside_pool = true;
+    std::unique_lock<std::mutex> lock(mutex);
+    uint64_t seen_generation = 0;
+    while (true) {
+      work_cv.wait(lock, [&] {
+        return stopping ||
+               (task != nullptr && job_generation != seen_generation);
+      });
+      if (stopping) return;
+      seen_generation = job_generation;
+      const std::function<void(size_t)>* job = task;
+      const size_t count = job_count;
+      ++active;
+      lock.unlock();
+      size_t ran = 0;
+      for (size_t i = next_index.fetch_add(1); i < count;
+           i = next_index.fetch_add(1)) {
+        (*job)(i);
+        ++ran;
+      }
+      lock.lock();
+      finished += ran;
+      --active;
+      if (finished == count && active == 0) done_cv.notify_all();
+    }
+  }
+
+  void EnsureThreads(size_t want) {
+    while (threads.size() < want && threads.size() < kMaxPoolThreads) {
+      threads.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+};
+
+WorkerPool::WorkerPool() : impl_(new Impl) {}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+WorkerPool& WorkerPool::Instance() {
+  static WorkerPool pool;
+  return pool;
+}
+
+void WorkerPool::Run(size_t n, const std::function<void(size_t)>& task) {
+  if (n == 0) return;
+  // A task scheduling sub-work would deadlock waiting on its own pool
+  // slot; run it inline instead (results are index-keyed, so placement is
+  // irrelevant).
+  if (n == 1 || t_inside_pool) {
+    for (size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(impl_->run_mutex);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->EnsureThreads(n - 1);  // the caller is the n-th runner
+    impl_->task = &task;
+    impl_->job_count = n;
+    impl_->next_index.store(0);
+    impl_->finished = 0;
+    ++impl_->job_generation;
+  }
+  impl_->work_cv.notify_all();
+  // The caller claims indices like any worker — including the reentrancy
+  // flag, so a task that calls Run() from this thread executes inline
+  // instead of deadlocking on run_mutex.
+  size_t ran = 0;
+  t_inside_pool = true;
+  for (size_t i = impl_->next_index.fetch_add(1); i < n;
+       i = impl_->next_index.fetch_add(1)) {
+    task(i);
+    ++ran;
+  }
+  t_inside_pool = false;
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->finished += ran;
+  impl_->done_cv.wait(lock, [&] {
+    return impl_->finished == impl_->job_count && impl_->active == 0;
+  });
+  // Retire the job while still holding the mutex: a worker waking now sees
+  // task == nullptr and goes back to sleep.
+  impl_->task = nullptr;
+}
+
+}  // namespace dsi::sim

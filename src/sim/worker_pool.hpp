@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file worker_pool.hpp
+/// \brief A lazily grown, process-lifetime worker pool for the experiment
+/// engine. RunWorkload used to spawn fresh std::async threads per call;
+/// benches call it once per data point, so thread creation dominated short
+/// runs. The pool keeps its threads parked between calls.
+///
+/// Determinism: the pool only changes WHERE a task index runs, never what
+/// it computes — tasks are identified by index and the caller combines
+/// results by index, so results are independent of scheduling.
+
+#include <cstddef>
+#include <functional>
+
+namespace dsi::sim {
+
+/// Process-wide pool. Run() executes task(0..n-1) across the pooled
+/// threads plus the calling thread and blocks until all are done.
+class WorkerPool {
+ public:
+  /// The singleton pool (constructed on first use, threads grown on
+  /// demand, parked until process exit).
+  static WorkerPool& Instance();
+
+  /// Executes \p task for every index in [0, n). The calling thread
+  /// participates, so a pool with T threads runs min(n, T + 1) tasks
+  /// concurrently. Reentrant calls (a task calling Run) execute inline to
+  /// avoid deadlock. Concurrent calls from different user threads are
+  /// serialized.
+  void Run(size_t n, const std::function<void(size_t)>& task);
+
+  ~WorkerPool();
+
+ private:
+  WorkerPool();
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace dsi::sim

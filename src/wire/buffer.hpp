@@ -16,13 +16,24 @@ namespace dsi::wire {
 /// Appends fixed-width little-endian integers to a byte vector.
 class ByteWriter {
  public:
+  /// Pre-sizes the backing vector; serializers that know their exact
+  /// output size call this once so encoding never regrows the buffer.
+  void Reserve(size_t total_bytes) { bytes_.reserve(total_bytes); }
+
   /// Writes the low \p width bytes of \p value (little endian).
   void WriteUint(uint64_t value, size_t width) {
     assert(width >= 1 && width <= 8);
     assert(width == 8 || value < (uint64_t{1} << (8 * width)));
+    uint8_t raw[8];
     for (size_t i = 0; i < width; ++i) {
-      bytes_.push_back(static_cast<uint8_t>(value >> (8 * i)));
+      raw[i] = static_cast<uint8_t>(value >> (8 * i));
     }
+    WriteBytes(raw, width);
+  }
+
+  /// Bulk append of \p n raw bytes.
+  void WriteBytes(const uint8_t* data, size_t n) {
+    bytes_.insert(bytes_.end(), data, data + n);
   }
 
   void WriteDouble(double value) {

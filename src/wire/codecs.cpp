@@ -13,6 +13,9 @@ std::vector<uint8_t> EncodeDsiTable(const core::DsiTableView& table,
   const size_t hc_int = hc_bytes > 8 ? 8 : hc_bytes;  // value width
   const size_t hc_pad = hc_bytes - hc_int;            // zero padding
   ByteWriter w;
+  const size_t heads = segment_heads.size() > 1 ? segment_heads.size() : 0;
+  w.Reserve((1 + heads + table.entries.size()) * hc_bytes +
+            table.entries.size() * common::kPointerBytes);
   auto write_hc = [&](uint64_t hc) {
     w.WriteUint(hc, hc_int);
     w.WriteZeros(hc_pad);
@@ -64,6 +67,7 @@ bool DecodeDsiTable(const std::vector<uint8_t>& bytes, uint32_t hc_bytes,
 std::vector<uint8_t> EncodeBptNode(
     const std::vector<bptree::BptEntry>& entries) {
   ByteWriter w;
+  w.Reserve(entries.size() * common::kHcIndexEntryBytes);
   for (const bptree::BptEntry& e : entries) {
     w.WriteUint(e.key, 8);
     w.WriteZeros(common::kHilbertValueBytes - 8);
@@ -90,6 +94,7 @@ bool DecodeBptNode(const std::vector<uint8_t>& bytes,
 std::vector<uint8_t> EncodeRtreeNode(
     const std::vector<rtree::Rtree::Entry>& entries) {
   ByteWriter w;
+  w.Reserve(entries.size() * common::kRtreeEntryBytes);
   for (const rtree::Rtree::Entry& e : entries) {
     w.WriteDouble(e.mbr.min_x);
     w.WriteDouble(e.mbr.min_y);
@@ -119,6 +124,7 @@ bool DecodeRtreeNode(const std::vector<uint8_t>& bytes,
 
 std::vector<uint8_t> EncodeDataObject(const datasets::SpatialObject& object) {
   ByteWriter w;
+  w.Reserve(common::kDataObjectBytes);
   w.WriteUint(object.id, 4);
   w.WriteDouble(object.location.x);
   w.WriteDouble(object.location.y);

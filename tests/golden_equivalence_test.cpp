@@ -1,0 +1,323 @@
+/// Golden-equivalence suite for the PR-2 hot-path optimizations: the
+/// table-driven Hilbert automaton, the templated quadtree decomposition,
+/// the flat client knowledge structures and the pooled/arena experiment
+/// engine must reproduce the pre-optimization implementation bit for bit.
+///
+///  * Conversions: the nibble-LUT CellToIndex/IndexToCell against the
+///    classic one-bit rotate/flip reference loops, across orders (including
+///    ones not divisible by the nibble width) and random cells.
+///  * Decomposition: the templated, coordinate-threading quadtree descent
+///    against a reference recursion that recovers block corners with
+///    IndexToCellReference (the pre-PR shape), across random windows.
+///  * Byte metrics: a table of access-latency/tuning averages captured by
+///    tools/golden_gen from the pre-optimization implementation, across
+///    index families, reorg layouts (m = 1..3), curve orders, query kinds
+///    and error rates. Any hot-path change that shifts simulated behavior
+///    trips these exact comparisons.
+///  * Program lookups: the stride-table SlotAtPacket/SlotStartingAtOrAfter
+///    against direct binary search on randomized programs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "air/dsi_handle.hpp"
+#include "air/exp_handle.hpp"
+#include "air/hci_handle.hpp"
+#include "air/rtree_handle.hpp"
+#include "broadcast/program.hpp"
+#include "common/rng.hpp"
+#include "datasets/datasets.hpp"
+#include "dsi/index.hpp"
+#include "hci/hci.hpp"
+#include "hilbert/hilbert.hpp"
+#include "hilbert/space_mapper.hpp"
+#include "rtree/rtree_air.hpp"
+#include "sim/runner.hpp"
+#include "sim/workload.hpp"
+
+namespace dsi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hilbert conversions: LUT vs reference
+// ---------------------------------------------------------------------------
+
+TEST(HilbertGoldenTest, LutConversionsMatchReferenceExhaustiveSmallOrders) {
+  for (int order = 1; order <= 6; ++order) {
+    const hilbert::HilbertCurve curve(order);
+    for (uint64_t y = 0; y < curve.side(); ++y) {
+      for (uint64_t x = 0; x < curve.side(); ++x) {
+        const auto xi = static_cast<uint32_t>(x);
+        const auto yi = static_cast<uint32_t>(y);
+        const uint64_t d = curve.CellToIndex(xi, yi);
+        ASSERT_EQ(d, curve.CellToIndexReference(xi, yi))
+            << "order " << order << " cell (" << x << "," << y << ")";
+        ASSERT_EQ(curve.IndexToCell(d), curve.IndexToCellReference(d))
+            << "order " << order << " index " << d;
+      }
+    }
+  }
+}
+
+TEST(HilbertGoldenTest, LutConversionsMatchReferenceRandomizedLargeOrders) {
+  common::Rng rng(1234);
+  for (const int order : {7, 9, 12, 15, 16, 21, 24, 31}) {
+    const hilbert::HilbertCurve curve(order);
+    for (int i = 0; i < 2000; ++i) {
+      const auto x = static_cast<uint32_t>(
+          rng.UniformInt(0, static_cast<int64_t>(curve.side()) - 1));
+      const auto y = static_cast<uint32_t>(
+          rng.UniformInt(0, static_cast<int64_t>(curve.side()) - 1));
+      const uint64_t d = curve.CellToIndex(x, y);
+      ASSERT_EQ(d, curve.CellToIndexReference(x, y))
+          << "order " << order << " cell (" << x << "," << y << ")";
+      ASSERT_EQ(curve.IndexToCell(d), curve.IndexToCellReference(d))
+          << "order " << order << " index " << d;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decomposition: templated descent vs pre-PR reference recursion
+// ---------------------------------------------------------------------------
+
+/// The decomposition as PR 1 implemented it: quadtree descent that locates
+/// each block by converting its base curve index back to a cell.
+void ReferenceRangesRecurse(
+    const hilbert::HilbertCurve& curve, uint64_t hc_base, uint64_t block_side,
+    const hilbert::HilbertCurve::BlockClassifier& classify,
+    std::vector<hilbert::HcRange>* out) {
+  const auto [cx, cy] = curve.IndexToCellReference(hc_base);
+  const uint64_t bx = cx & ~(block_side - 1);
+  const uint64_t by = cy & ~(block_side - 1);
+  switch (classify(bx, by, block_side)) {
+    case hilbert::HilbertCurve::BlockClass::kDisjoint:
+      return;
+    case hilbert::HilbertCurve::BlockClass::kFull:
+      out->push_back(
+          hilbert::HcRange{hc_base, hc_base + block_side * block_side - 1});
+      return;
+    case hilbert::HilbertCurve::BlockClass::kPartial:
+      break;
+  }
+  if (block_side == 1) {
+    out->push_back(hilbert::HcRange{hc_base, hc_base});
+    return;
+  }
+  const uint64_t child_side = block_side / 2;
+  const uint64_t child_cells = child_side * child_side;
+  for (uint64_t q = 0; q < 4; ++q) {
+    ReferenceRangesRecurse(curve, hc_base + q * child_cells, child_side,
+                           classify, out);
+  }
+}
+
+TEST(HilbertGoldenTest, TemplatedDecompositionMatchesReferenceRecursion) {
+  common::Rng rng(99);
+  for (const int order : {3, 5, 8, 10}) {
+    const hilbert::HilbertCurve curve(order);
+    const auto side = static_cast<int64_t>(curve.side());
+    for (int i = 0; i < 60; ++i) {
+      const auto x1 = static_cast<uint32_t>(rng.UniformInt(0, side - 1));
+      const auto x2 = static_cast<uint32_t>(rng.UniformInt(0, side - 1));
+      const auto y1 = static_cast<uint32_t>(rng.UniformInt(0, side - 1));
+      const auto y2 = static_cast<uint32_t>(rng.UniformInt(0, side - 1));
+      const uint32_t x_lo = std::min(x1, x2), x_hi = std::max(x1, x2);
+      const uint32_t y_lo = std::min(y1, y2), y_hi = std::max(y1, y2);
+      auto classify = [&](uint64_t bx, uint64_t by, uint64_t s) {
+        const uint64_t bx_hi = bx + s - 1, by_hi = by + s - 1;
+        if (bx > x_hi || bx_hi < x_lo || by > y_hi || by_hi < y_lo) {
+          return hilbert::HilbertCurve::BlockClass::kDisjoint;
+        }
+        if (bx >= x_lo && bx_hi <= x_hi && by >= y_lo && by_hi <= y_hi) {
+          return hilbert::HilbertCurve::BlockClass::kFull;
+        }
+        return hilbert::HilbertCurve::BlockClass::kPartial;
+      };
+      std::vector<hilbert::HcRange> reference;
+      ReferenceRangesRecurse(curve, 0, curve.side(), classify, &reference);
+      reference = hilbert::NormalizeRanges(std::move(reference));
+      std::vector<hilbert::HcRange> fast;
+      curve.RangesInCellRect(x_lo, y_lo, x_hi, y_hi, &fast);
+      ASSERT_EQ(fast, reference)
+          << "order " << order << " rect [" << x_lo << "," << x_hi << "]x["
+          << y_lo << "," << y_hi << "]";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte metrics: optimized hot path vs captured pre-optimization averages
+// ---------------------------------------------------------------------------
+
+struct GoldenRow {
+  const char* family;
+  int m;
+  int order;  // 0 = order-independent family (R-tree)
+  const char* kind;
+  double theta;
+  double latency_bytes;
+  double tuning_bytes;
+  size_t incomplete;
+};
+
+// Captured by tools/golden_gen from the pre-optimization (PR 1) hot path;
+// averages of exact integer byte sums, so they compare with operator==.
+const GoldenRow kGolden[] = {
+    {"dsi", 1, 6, "window", 0, 184389.33333333334, 10640, 0},
+    {"dsi", 1, 6, "window", 0.5, 2743162.6666666665, 24928, 0},
+    {"dsi", 1, 6, "knn", 0, 194592, 17653.333333333332, 0},
+    {"dsi", 1, 6, "knn-aggr", 0, 837973.33333333337, 15861.333333333334, 0},
+    {"dsi", 2, 6, "window", 0, 207152, 10768, 0},
+    {"dsi", 2, 6, "window", 0.5, 3250208, 27914.666666666668, 0},
+    {"dsi", 2, 6, "knn", 0, 242768, 20544, 0},
+    {"dsi", 2, 6, "knn-aggr", 0, 805066.66666666663, 18832, 0},
+    {"dsi", 3, 6, "window", 0, 323717.33333333331, 15749.333333333334, 0},
+    {"dsi", 3, 6, "window", 0.5, 3618170.6666666665, 33429.333333333336, 0},
+    {"dsi", 3, 6, "knn", 0, 294981.33333333331, 23792, 0},
+    {"dsi", 3, 6, "knn-aggr", 0, 1048789.3333333333, 19984, 0},
+    {"hci", 1, 6, "window", 0, 290933.33333333331, 6874.666666666667, 0},
+    {"hci", 1, 6, "window", 0.5, 4779573.333333333, 12336, 0},
+    {"hci", 1, 6, "knn", 0, 557813.33333333337, 13312, 0},
+    {"expindex", 1, 6, "window", 0, 1426272, 17834.666666666668, 0},
+    {"expindex", 1, 6, "knn", 0, 2720170.6666666665, 39829.333333333336, 0},
+    {"dsi", 1, 8, "window", 0, 184816, 10762.666666666666, 0},
+    {"dsi", 1, 8, "window", 0.5, 3080304, 27322.666666666668, 0},
+    {"dsi", 1, 8, "knn", 0, 195072, 16138.666666666666, 0},
+    {"dsi", 1, 8, "knn-aggr", 0, 780010.66666666663, 16085.333333333334, 0},
+    {"dsi", 2, 8, "window", 0, 206032, 10816, 0},
+    {"dsi", 2, 8, "window", 0.5, 3396336, 28218.666666666668, 0},
+    {"dsi", 2, 8, "knn", 0, 244272, 19205.333333333332, 0},
+    {"dsi", 2, 8, "knn-aggr", 0, 852320, 16432, 0},
+    {"dsi", 3, 8, "window", 0, 439632, 15306.666666666666, 0},
+    {"dsi", 3, 8, "window", 0.5, 2707349.3333333335, 30453.333333333332, 0},
+    {"dsi", 3, 8, "knn", 0, 283626.66666666669, 22373.333333333332, 0},
+    {"dsi", 3, 8, "knn-aggr", 0, 1201461.3333333333, 22586.666666666668, 0},
+    {"hci", 1, 8, "window", 0, 290592, 6106.666666666667, 0},
+    {"hci", 1, 8, "window", 0.5, 4725152, 11237.333333333334, 0},
+    {"hci", 1, 8, "knn", 0, 557050.66666666663, 11205.333333333334, 0},
+    {"expindex", 1, 8, "window", 0, 6584474.666666667, 42890.666666666664, 0},
+    {"expindex", 1, 8, "knn", 0, 16029082.666666666, 103616, 0},
+    {"rtree", 1, 0, "window", 0, 227541.33333333334, 7520, 0},
+    {"rtree", 1, 0, "window", 0.5, 5996112, 13920, 0},
+    {"rtree", 1, 0, "knn", 0, 521450.66666666669, 11552, 0},
+};
+
+class GoldenMetricsTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kQueries = 12;
+  static constexpr size_t kCapacity = 64;
+
+  GoldenMetricsTest()
+      : objects_(datasets::MakeUniform(300, datasets::UnitUniverse(), 19)),
+        windows_(sim::MakeWindowWorkload(kQueries, 0.12,
+                                         datasets::UnitUniverse(), 23)),
+        points_(
+            sim::MakeKnnWorkload(kQueries, datasets::UnitUniverse(), 27)) {}
+
+  sim::Workload WorkloadFor(const GoldenRow& row) const {
+    const std::string kind = row.kind;
+    if (kind == "window") return sim::Workload::Window(windows_, row.theta);
+    if (kind == "knn") return sim::Workload::Knn(points_, 4);
+    return sim::Workload::Knn(points_, 4, air::KnnStrategy::kAggressive);
+  }
+
+  void Check(const air::AirIndexHandle& handle, const GoldenRow& row) {
+    const auto metrics =
+        sim::RunWorkload(handle, WorkloadFor(row), sim::RunOptions{77, 1});
+    EXPECT_EQ(metrics.latency_bytes, row.latency_bytes)
+        << row.family << " m=" << row.m << " order=" << row.order << " "
+        << row.kind << " theta=" << row.theta;
+    EXPECT_EQ(metrics.tuning_bytes, row.tuning_bytes)
+        << row.family << " m=" << row.m << " order=" << row.order << " "
+        << row.kind << " theta=" << row.theta;
+    EXPECT_EQ(metrics.incomplete, row.incomplete);
+  }
+
+  std::vector<datasets::SpatialObject> objects_;
+  std::vector<common::Rect> windows_;
+  std::vector<common::Point> points_;
+};
+
+TEST_F(GoldenMetricsTest, DsiAcrossOrdersAndReorgLayouts) {
+  for (const int order : {6, 8}) {
+    const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), order);
+    for (const uint32_t m : {1u, 2u, 3u}) {
+      core::DsiConfig cfg;
+      cfg.num_segments = m;
+      const core::DsiIndex dsi(objects_, mapper, kCapacity, cfg);
+      const air::DsiHandle handle(dsi);
+      for (const GoldenRow& row : kGolden) {
+        if (std::strcmp(row.family, "dsi") != 0) continue;
+        if (row.order != order || row.m != static_cast<int>(m)) continue;
+        Check(handle, row);
+      }
+    }
+  }
+}
+
+TEST_F(GoldenMetricsTest, HciAndExpAcrossOrders) {
+  for (const int order : {6, 8}) {
+    const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), order);
+    const hci::HciIndex hci(objects_, mapper, kCapacity);
+    const air::HciHandle hci_handle(hci);
+    const air::ExpHandle exp_handle(objects_, mapper, kCapacity);
+    for (const GoldenRow& row : kGolden) {
+      if (row.order != order) continue;
+      if (std::strcmp(row.family, "hci") == 0) Check(hci_handle, row);
+      if (std::strcmp(row.family, "expindex") == 0) Check(exp_handle, row);
+    }
+  }
+}
+
+TEST_F(GoldenMetricsTest, Rtree) {
+  const rtree::RtreeIndex rt(objects_, kCapacity);
+  const air::RtreeHandle handle(rt);
+  for (const GoldenRow& row : kGolden) {
+    if (std::strcmp(row.family, "rtree") == 0) Check(handle, row);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Program lookups: stride table vs binary search
+// ---------------------------------------------------------------------------
+
+TEST(ProgramGoldenTest, StrideLookupsMatchBinarySearch) {
+  common::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    broadcast::BroadcastProgram p(64);
+    const int buckets = static_cast<int>(rng.UniformInt(1, 120));
+    for (int b = 0; b < buckets; ++b) {
+      p.AddBucket(broadcast::BucketKind::kDataObject, 0,
+                  static_cast<uint32_t>(rng.UniformInt(1, 1024)));
+    }
+    p.Finalize();
+    std::vector<uint64_t> starts;
+    for (size_t s = 0; s < p.num_buckets(); ++s) {
+      starts.push_back(p.bucket(s).start_packet);
+    }
+    for (uint64_t packet = 0; packet < p.cycle_packets(); ++packet) {
+      // Reference: direct binary search over bucket start offsets.
+      const auto it =
+          std::upper_bound(starts.begin(), starts.end(), packet);
+      const size_t expect_at =
+          static_cast<size_t>(std::distance(starts.begin(), it)) - 1;
+      ASSERT_EQ(p.SlotAtPacket(packet), expect_at) << "packet " << packet;
+      const auto lo = std::lower_bound(starts.begin(), starts.end(), packet);
+      const size_t expect_after =
+          lo == starts.end()
+              ? 0
+              : static_cast<size_t>(std::distance(starts.begin(), lo));
+      ASSERT_EQ(p.SlotStartingAtOrAfter(packet), expect_after)
+          << "packet " << packet;
+    }
+    ASSERT_EQ(p.SlotStartingAtOrAfter(p.cycle_packets()), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dsi

@@ -126,6 +126,76 @@ TEST_F(ParallelParityFixture, WorkerCountDoesNotLeakIntoSeeds) {
   }
 }
 
+TEST_F(ParallelParityFixture, PersistentPoolIsStableAcrossRepeatedRuns) {
+  // The worker pool persists between RunWorkload calls; re-running the same
+  // workload (and interleaving different worker counts so the pool grows in
+  // between) must keep reproducing the serial result bit-identically.
+  const auto windows =
+      sim::MakeWindowWorkload(10, 0.1, datasets::UnitUniverse(), 41);
+  const auto workload = sim::Workload::Window(windows);
+  const auto baseline =
+      sim::RunWorkload(dsi_air_, workload, sim::RunOptions{113, 1});
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (const size_t workers : {4u, 2u, 7u}) {
+      const auto pooled = sim::RunWorkload(dsi_air_, workload,
+                                           sim::RunOptions{113, workers});
+      ExpectIdentical(baseline, pooled, "dsi", "pool reuse");
+    }
+  }
+}
+
+TEST_F(ParallelParityFixture, ArenaClientsMatchHeapClients) {
+  // MakeClientIn (the engine's per-worker arena path) must behave exactly
+  // like MakeClient, including when one arena is reused across queries and
+  // families back to back.
+  const auto windows =
+      sim::MakeWindowWorkload(4, 0.1, datasets::UnitUniverse(), 43);
+  const auto points = sim::MakeKnnWorkload(4, datasets::UnitUniverse(), 45);
+  air::ClientArena arena;
+  for (const air::AirIndexHandle* handle : Handles()) {
+    for (size_t i = 0; i < windows.size(); ++i) {
+      broadcast::ClientSession heap_session(handle->program(), 300 + i,
+                                            broadcast::ErrorModel{},
+                                            common::Rng(i));
+      broadcast::ClientSession arena_session(handle->program(), 300 + i,
+                                             broadcast::ErrorModel{},
+                                             common::Rng(i));
+      const auto heap_client = handle->MakeClient(&heap_session);
+      air::AirClient* arena_client =
+          handle->MakeClientIn(arena, &arena_session);
+      const auto heap_result = heap_client->WindowQuery(windows[i]);
+      const auto arena_result = arena_client->WindowQuery(windows[i]);
+      ASSERT_EQ(heap_result.size(), arena_result.size()) << handle->family();
+      EXPECT_EQ(heap_session.metrics().access_latency_bytes,
+                arena_session.metrics().access_latency_bytes)
+          << handle->family();
+      EXPECT_EQ(heap_session.metrics().tuning_bytes,
+                arena_session.metrics().tuning_bytes)
+          << handle->family();
+    }
+    for (size_t i = 0; i < points.size(); ++i) {
+      broadcast::ClientSession heap_session(handle->program(), 500 + i,
+                                            broadcast::ErrorModel{},
+                                            common::Rng(90 + i));
+      broadcast::ClientSession arena_session(handle->program(), 500 + i,
+                                             broadcast::ErrorModel{},
+                                             common::Rng(90 + i));
+      const auto heap_client = handle->MakeClient(&heap_session);
+      air::AirClient* arena_client =
+          handle->MakeClientIn(arena, &arena_session);
+      const auto heap_result = heap_client->KnnQuery(points[i], 3);
+      const auto arena_result = arena_client->KnnQuery(points[i], 3);
+      ASSERT_EQ(heap_result.size(), arena_result.size()) << handle->family();
+      for (size_t j = 0; j < heap_result.size(); ++j) {
+        EXPECT_EQ(heap_result[j].id, arena_result[j].id) << handle->family();
+      }
+      EXPECT_EQ(heap_session.metrics().tuning_bytes,
+                arena_session.metrics().tuning_bytes)
+          << handle->family();
+    }
+  }
+}
+
 TEST_F(ParallelParityFixture, ExpAdapterAnswersAreExact) {
   // The 1-D exponential-index adapter must return exactly the objects an
   // in-memory oracle finds, for both query kinds.

@@ -1,0 +1,82 @@
+/// \file golden_gen.cpp
+/// \brief Regenerates the golden byte-metric table embedded in
+/// tests/golden_equivalence_test.cpp. The numbers were first captured from
+/// the pre-optimization (PR 1) implementation; the optimized hot path must
+/// reproduce them bit-identically. Run this only to EXTEND the table (new
+/// configs), never to paper over a regression.
+///
+/// Output: C++ initializer rows for the GoldenRow table, printed to stdout.
+
+#include <cstdio>
+#include <vector>
+
+#include "air/dsi_handle.hpp"
+#include "air/exp_handle.hpp"
+#include "air/hci_handle.hpp"
+#include "air/rtree_handle.hpp"
+#include "datasets/datasets.hpp"
+#include "dsi/index.hpp"
+#include "hci/hci.hpp"
+#include "hilbert/space_mapper.hpp"
+#include "rtree/rtree_air.hpp"
+#include "sim/runner.hpp"
+#include "sim/workload.hpp"
+
+int main() {
+  using namespace dsi;
+  constexpr size_t kQueries = 12;
+  constexpr size_t kCapacity = 64;
+
+  const auto objects =
+      datasets::MakeUniform(300, datasets::UnitUniverse(), 19);
+  const auto windows = sim::MakeWindowWorkload(kQueries, 0.12,
+                                               datasets::UnitUniverse(), 23);
+  const auto points = sim::MakeKnnWorkload(kQueries, datasets::UnitUniverse(), 27);
+
+  auto emit = [&](const char* family, int m, int order, const char* kind,
+                  double theta, const air::AirIndexHandle& h,
+                  const sim::Workload& wl) {
+    const auto metrics = sim::RunWorkload(h, wl, sim::RunOptions{77, 1});
+    std::printf(
+        "    {\"%s\", %d, %d, \"%s\", %g, %.17g, %.17g, %zu},\n", family, m,
+        order, kind, theta, metrics.latency_bytes, metrics.tuning_bytes,
+        metrics.incomplete);
+  };
+
+  for (const int order : {6, 8}) {
+    const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), order);
+    for (const uint32_t m : {1u, 2u, 3u}) {
+      core::DsiConfig cfg;
+      cfg.num_segments = m;
+      const core::DsiIndex dsi(objects, mapper, kCapacity, cfg);
+      const air::DsiHandle h(dsi);
+      emit("dsi", static_cast<int>(m), order, "window", 0.0, h,
+           sim::Workload::Window(windows));
+      emit("dsi", static_cast<int>(m), order, "window", 0.5, h,
+           sim::Workload::Window(windows, 0.5));
+      emit("dsi", static_cast<int>(m), order, "knn", 0.0, h,
+           sim::Workload::Knn(points, 4));
+      emit("dsi", static_cast<int>(m), order, "knn-aggr", 0.0, h,
+           sim::Workload::Knn(points, 4, air::KnnStrategy::kAggressive));
+    }
+    const hci::HciIndex hci(objects, mapper, kCapacity);
+    const air::HciHandle hh(hci);
+    emit("hci", 1, order, "window", 0.0, hh, sim::Workload::Window(windows));
+    emit("hci", 1, order, "window", 0.5, hh,
+         sim::Workload::Window(windows, 0.5));
+    emit("hci", 1, order, "knn", 0.0, hh, sim::Workload::Knn(points, 4));
+    const air::ExpHandle eh(objects, mapper, kCapacity);
+    emit("expindex", 1, order, "window", 0.0, eh,
+         sim::Workload::Window(windows));
+    emit("expindex", 1, order, "knn", 0.0, eh, sim::Workload::Knn(points, 4));
+  }
+  {
+    const rtree::RtreeIndex rt(objects, kCapacity);
+    const air::RtreeHandle rh(rt);
+    emit("rtree", 1, 0, "window", 0.0, rh, sim::Workload::Window(windows));
+    emit("rtree", 1, 0, "window", 0.5, rh,
+         sim::Workload::Window(windows, 0.5));
+    emit("rtree", 1, 0, "knn", 0.0, rh, sim::Workload::Knn(points, 4));
+  }
+  return 0;
+}

@@ -1,0 +1,171 @@
+/// \file perf_smoke.cpp
+/// \brief Host-side throughput smoke harness: runs fixed fig9-style window
+/// and fig11-style kNN workloads across all four index families, measures
+/// wall-clock queries/sec, and emits machine-readable BENCH_perf.json so the
+/// perf trajectory of the query hot path is tracked PR over PR.
+///
+/// The simulated byte metrics (access latency / tuning) are printed next to
+/// the throughput: they must stay bit-identical across optimization PRs and
+/// worker counts, which is what makes the queries/sec numbers comparable.
+///
+///   perf_smoke [--queries=N] [--objects=N] [--workers=N] [--repeats=N]
+///              [--out=PATH]
+///
+/// JSON schema (BENCH_perf.json):
+///   {
+///     "config": {"queries":N, "objects":N, "workers":N, "repeats":N},
+///     "results": [
+///       {"family":"dsi", "workload":"window", "queries":N,
+///        "seconds":S, "qps":Q,
+///        "avg_latency_bytes":L, "avg_tuning_bytes":T}, ...
+///     ]
+///   }
+/// qps is the best (max) rate over the repeats; seconds is that repeat's
+/// wall-clock. Byte metrics are identical across repeats by construction.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "air/dsi_handle.hpp"
+#include "air/exp_handle.hpp"
+#include "air/hci_handle.hpp"
+#include "air/rtree_handle.hpp"
+#include "datasets/datasets.hpp"
+#include "dsi/index.hpp"
+#include "hci/hci.hpp"
+#include "hilbert/space_mapper.hpp"
+#include "rtree/rtree_air.hpp"
+#include "sim/runner.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace dsi;
+
+struct Options {
+  size_t queries = 2000;
+  size_t objects = 10000;
+  size_t workers = 0;  // 0 = one per hardware thread
+  size_t repeats = 3;
+  std::string out = "BENCH_perf.json";
+};
+
+Options ParseOptions(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--queries=", 0) == 0) {
+      opt.queries = std::stoul(arg.substr(10));
+    } else if (arg.rfind("--objects=", 0) == 0) {
+      opt.objects = std::stoul(arg.substr(10));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      opt.workers = std::stoul(arg.substr(10));
+    } else if (arg.rfind("--repeats=", 0) == 0) {
+      opt.repeats = std::stoul(arg.substr(10));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opt.out = arg.substr(6);
+    }
+  }
+  return opt;
+}
+
+struct Result {
+  std::string family;
+  std::string workload;
+  size_t queries = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double avg_latency_bytes = 0.0;
+  double avg_tuning_bytes = 0.0;
+};
+
+Result Measure(const air::AirIndexHandle& handle, const sim::Workload& wl,
+               const char* workload_name, const Options& opt) {
+  Result r;
+  r.family = std::string(handle.family());
+  r.workload = workload_name;
+  const sim::RunOptions run{/*seed=*/42, /*workers=*/opt.workers};
+  for (size_t rep = 0; rep < opt.repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::AvgMetrics m = sim::RunWorkload(handle, wl, run);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const double qps = secs > 0.0 ? static_cast<double>(m.queries) / secs : 0.0;
+    if (qps > r.qps) {
+      r.qps = qps;
+      r.seconds = secs;
+    }
+    r.queries = m.queries;
+    r.avg_latency_bytes = m.latency_bytes;
+    r.avg_tuning_bytes = m.tuning_bytes;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+  const auto objects =
+      datasets::MakeUniform(opt.objects, datasets::UnitUniverse(), 42);
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(),
+                                    hilbert::ChooseOrder(opt.objects));
+  constexpr size_t kCapacity = 64;  // fig9's mid column
+
+  core::DsiConfig cfg;
+  cfg.num_segments = 2;  // the paper's reorganized broadcast
+  const core::DsiIndex dsi(objects, mapper, kCapacity, cfg);
+  const rtree::RtreeIndex rtree(objects, kCapacity);
+  const hci::HciIndex hci(objects, mapper, kCapacity);
+  const air::DsiHandle dsi_air(dsi);
+  const air::RtreeHandle rtree_air(rtree);
+  const air::HciHandle hci_air(hci);
+  const air::ExpHandle exp_air(objects, mapper, kCapacity);
+  const std::vector<const air::AirIndexHandle*> handles{
+      &dsi_air, &rtree_air, &hci_air, &exp_air};
+
+  // fig9-style window workload (WinSideRatio = 0.1) and fig11-style kNN.
+  const auto window_wl = sim::Workload::Window(sim::MakeWindowWorkload(
+      opt.queries, 0.1, datasets::UnitUniverse(), 43));
+  const auto knn_wl = sim::Workload::Knn(
+      sim::MakeKnnWorkload(opt.queries, datasets::UnitUniverse(), 44), 10);
+
+  std::vector<Result> results;
+  for (const air::AirIndexHandle* h : handles) {
+    results.push_back(Measure(*h, window_wl, "window", opt));
+    results.push_back(Measure(*h, knn_wl, "knn", opt));
+  }
+
+  std::ofstream json(opt.out);
+  json << "{\n  \"config\": {\"queries\": " << opt.queries
+       << ", \"objects\": " << opt.objects << ", \"workers\": " << opt.workers
+       << ", \"repeats\": " << opt.repeats << "},\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "    {\"family\": \"%s\", \"workload\": \"%s\", "
+                  "\"queries\": %zu, \"seconds\": %.6f, \"qps\": %.1f, "
+                  "\"avg_latency_bytes\": %.6f, \"avg_tuning_bytes\": %.6f}%s",
+                  r.family.c_str(), r.workload.c_str(), r.queries, r.seconds,
+                  r.qps, r.avg_latency_bytes, r.avg_tuning_bytes,
+                  i + 1 < results.size() ? ",\n" : "\n");
+    json << line;
+  }
+  json << "  ]\n}\n";
+  json.close();
+
+  std::cout << "perf_smoke: " << opt.queries << " queries x {window,knn}, "
+            << opt.objects << " objects, capacity " << kCapacity << "\n";
+  for (const Result& r : results) {
+    std::printf("%-9s %-7s %10.1f q/s  (%.3fs)  lat=%.1f tun=%.1f\n",
+                r.family.c_str(), r.workload.c_str(), r.qps, r.seconds,
+                r.avg_latency_bytes, r.avg_tuning_bytes);
+  }
+  std::cout << "wrote " << opt.out << "\n";
+  return 0;
+}
