@@ -59,7 +59,10 @@ class ExpAirClient : public AirClient {
     if (k == 0 || n == 0) return {};
     const common::Rect& u = handle_.mapper().universe();
     const double side = std::max(u.Width(), u.Height());
-    const double diameter = 2.0 * std::hypot(u.Width(), u.Height());
+    // A circle of this radius covers every object regardless of where q is
+    // (exact farthest-corner distance; a universe-diagonal bound fails for
+    // q outside the universe).
+    const double cover = std::sqrt(u.MaxSquaredDistance(q));
     // Expected radius holding k uniform objects, with a floor of one cell.
     double radius = std::max(
         side * std::sqrt(static_cast<double>(std::min(k + 1, n)) /
@@ -84,8 +87,8 @@ class ExpAirClient : public AirClient {
       for (const auto& [rank, o] : candidates) {
         if (common::Distance(q, o.location) <= radius) ++within;
       }
-      if (within >= k || radius >= diameter) break;
-      radius = std::min(2.0 * radius, diameter);
+      if (within >= k || radius >= cover) break;
+      radius = std::min(2.0 * radius, cover);
     }
     return Best(q, k, candidates);
   }

@@ -4,6 +4,18 @@
 
 namespace dsi::broadcast {
 
+namespace {
+
+/// SplitMix64 finalizer; decorrelates (channel seed, bucket instance) pairs
+/// into independent uniform draws for the kPerBucketLoss coin.
+uint64_t MixBits(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 ClientSession::ClientSession(const BroadcastProgram& program,
                              uint64_t tune_in_packet, ErrorModel errors,
                              common::Rng rng)
@@ -20,6 +32,9 @@ ClientSession::ClientSession(const BroadcastProgram& program,
     event_packet_ =
         tune_in_ + static_cast<uint64_t>(rng_.UniformInt(
                        0, static_cast<int64_t>(program_.cycle_packets()) - 1));
+  }
+  if (errors_.mode == ErrorMode::kPerBucketLoss) {
+    channel_seed_ = rng_.engine()();
   }
 }
 
@@ -79,6 +94,17 @@ bool ClientSession::ReadBucket(size_t slot) {
         event_armed_ = false;
       }
       break;
+    case ErrorMode::kPerBucketLoss: {
+      // The coin belongs to the on-air instance: the cycle number of the
+      // listen start (the session is parked on the bucket boundary when the
+      // listen begins) paired with the slot, hashed against the channel
+      // seed. 2^-53 granularity matches the double mantissa.
+      const uint64_t cycle_index = listen_start / program_.cycle_packets();
+      const uint64_t h = MixBits(
+          channel_seed_ ^ MixBits(cycle_index * program_.num_buckets() + slot));
+      lost = static_cast<double>(h >> 11) * 0x1.0p-53 < errors_.theta;
+      break;
+    }
   }
   if (trace_ != nullptr) {
     trace_->push_back(

@@ -36,6 +36,14 @@ enum class ErrorMode : uint8_t {
   /// magnitude regime of the paper's Table 1 (deteriorations of a few to a
   /// few tens of percent even at theta = 0.7).
   kSingleEvent,
+  /// Channel-deterministic loss: each on-air bucket *instance* (cycle
+  /// number, slot) is corrupted with probability theta, decided by hashing
+  /// the instance against the session's channel seed. Unlike kPerReadLoss
+  /// the outcome does not depend on when (or whether) the client chose to
+  /// listen, so two clients of the same session seed observing the same
+  /// instance agree — the model a differential conformance harness needs.
+  /// A retry in a later cycle is a new instance with a fresh coin.
+  kPerBucketLoss,
 };
 
 /// Link-error injection parameters. theta = 0 is the lossless channel of
@@ -127,6 +135,7 @@ class ClientSession {
   bool probed_ = false;
   bool event_armed_ = false;      // kSingleEvent: error not yet consumed
   uint64_t event_packet_ = 0;     // kSingleEvent: global corrupted packet
+  uint64_t channel_seed_ = 0;     // kPerBucketLoss: per-session channel key
   std::vector<TraceEvent>* trace_ = nullptr;
 };
 

@@ -71,7 +71,7 @@ std::vector<datasets::SpatialObject> DsiClient::WindowQuery(
 
 std::vector<datasets::SpatialObject> DsiClient::KnnQuery(
     const common::Point& q, size_t k, KnnStrategy strategy) {
-  assert(k > 0);
+  if (k == 0) return {};  // degenerate: the empty set, no listening needed
   const auto& mapper = index_.mapper();
 
   // Current search radius: k-th smallest upper-bound distance over exact
@@ -459,7 +459,10 @@ bool DsiClient::GapMayIntersect(
 uint32_t DsiClient::SelectConservativeHop(
     const DsiTableView& table,
     const std::vector<hilbert::HcRange>& pending) const {
-  assert(!table.entries.empty());
+  // A single-frame broadcast has an empty table (no frame to point at);
+  // the only possible hop is the frame itself, next cycle — reachable when
+  // a link error left part of the lone frame unretrieved.
+  if (table.entries.empty()) return table.position;
   // Farthest entry whose skipped gap provably cannot hold pending targets.
   for (auto it = table.entries.rbegin(); it != table.entries.rend(); ++it) {
     if (!GapMayIntersect(table.position, it->position, pending)) {
@@ -473,7 +476,7 @@ uint32_t DsiClient::SelectConservativeHop(
 uint32_t DsiClient::SelectAggressiveHop(
     const DsiTableView& table, const std::vector<hilbert::HcRange>& pending,
     const common::Point& q) const {
-  assert(!table.entries.empty());
+  if (table.entries.empty()) return table.position;  // single-frame broadcast
   // Paper rule: follow the entry pointing to the frame closest to the query
   // point (fast search-space convergence; skipped ranges wrap to the next
   // cycle). Only frames that may still matter qualify — once the local

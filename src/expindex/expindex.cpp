@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace dsi::expindex {
 
@@ -90,8 +91,6 @@ ExpIndex::ChunkItems ExpIndex::ItemsAt(uint32_t position) const {
 ExpClient::ExpClient(const ExpIndex& index, broadcast::ClientSession* session)
     : index_(index), session_(session) {
   session_->InitialProbe();
-  deadline_packets_ = session_->now_packets() +
-                      kWatchdogCycles * index_.program().cycle_packets();
 }
 
 bool ExpClient::WatchdogExpired() const {
@@ -159,6 +158,12 @@ std::vector<uint32_t> ExpClient::Lookup(uint64_t key) {
 
 std::vector<uint32_t> ExpClient::RangeQuery(uint64_t lo, uint64_t hi) {
   assert(lo <= hi);
+  // Each 1-D query gets a fresh watchdog budget. Spatial adapters issue
+  // many range scans per spatial query; time legitimately spent on earlier
+  // scans must not starve a later one into a phantom abort (the watchdog
+  // exists to bound a *stuck* scan, not to cap useful work).
+  deadline_packets_ = session_->now_packets() +
+                      kWatchdogCycles * index_.program().cycle_packets();
   std::vector<uint32_t> out;
   const auto first_table = ReadNextTable();
   if (!first_table) {
@@ -172,44 +177,78 @@ std::vector<uint32_t> ExpClient::RangeQuery(uint64_t lo, uint64_t hi) {
   }
 
   // Sequential scan: read chunks while they can contain keys in [lo, hi].
+  // One listen attempt per bucket as it streams by; losses are deferred to
+  // a sweep after the walk (blocking mid-scan would waste a full cycle per
+  // lost bucket and, under heavy loss, turn bounded work into a watchdog
+  // abort). The walk itself is bounded by one lap of the cycle.
   uint32_t pos = *start;
+  bool have_table = true;  // Forward() received the start chunk's table
   uint32_t visited = 0;
-  while (visited < index_.num_chunks() && !WatchdogExpired()) {
+  std::vector<std::pair<size_t, uint32_t>> missing;  // (slot, rank)
+  while (visited < index_.num_chunks()) {
     ++visited;
     // Retrieve this chunk's items — all of them: only the chunk minimum is
-    // known before listening, the item keys come with the payloads —
-    // retrying lost buckets next cycle, then filter by key.
+    // known before listening, the item keys come with the payloads — then
+    // filter by key.
     const auto items = index_.ItemsAt(pos);
     for (uint32_t i = 0; i < items.count; ++i) {
       const uint32_t rank = items.first_rank + i;
-      while (!session_->ReadBucket(items.first_slot + i)) {
+      if (session_->ReadBucket(items.first_slot + i)) {
+        ++stats_.items_read;
+        const uint64_t key = index_.sorted_keys()[rank];
+        if (key >= lo && key <= hi) out.push_back(rank);
+      } else {
         ++stats_.buckets_lost;
-        if (WatchdogExpired()) {
-          stats_.completed = false;
-          return out;
-        }
+        missing.emplace_back(items.first_slot + i, rank);
       }
-      ++stats_.items_read;
-      const uint64_t key = index_.sorted_keys()[rank];
-      if (key >= lo && key <= hi) out.push_back(rank);
     }
-    // Peek the next chunk via this chunk's table (entry 0).
-    const auto entries = index_.TableAt(pos);
-    if (entries.empty()) break;
-    const uint64_t next_min = entries.front().min_key;
-    if (next_min - lo > hi - lo) break;  // cyclic: next chunk past hi
-    const uint32_t next = entries.front().position;
-    while (!session_->ReadBucket(index_.TableSlot(next))) {
+    // Stop check needs this chunk's table (entry 0 = the next chunk's
+    // minimum). When the table was lost the scan keeps going — the next
+    // chunk is structurally known, its items are filtered by key anyway,
+    // and the next received table restores the check.
+    if (have_table) {
+      const auto entries = index_.TableAt(pos);
+      if (entries.empty()) break;  // single-chunk broadcast
+      if (entries.front().min_key - lo > hi - lo) break;  // cyclic: past hi
+    }
+    if (visited == index_.num_chunks()) break;  // full lap: nothing ahead
+    const uint32_t next =
+        static_cast<uint32_t>((pos + 1) % index_.num_chunks());
+    if (session_->ReadBucket(index_.TableSlot(next))) {
+      ++stats_.tables_read;
+      have_table = true;
+    } else {
       ++stats_.buckets_lost;
-      if (WatchdogExpired()) {
-        stats_.completed = false;
-        return out;
-      }
+      have_table = false;
     }
-    ++stats_.tables_read;
     pos = next;
   }
-  if (WatchdogExpired()) stats_.completed = false;
+  // Sweep the lost items in passing order until none remain; every lap of
+  // the cycle retries all of them.
+  while (!missing.empty()) {
+    if (WatchdogExpired()) {
+      stats_.completed = false;
+      return out;
+    }
+    uint64_t best_wait = UINT64_MAX;
+    size_t best_i = 0;
+    for (size_t i = 0; i < missing.size(); ++i) {
+      const uint64_t w = session_->PacketsUntil(missing[i].first);
+      if (w < best_wait) {
+        best_wait = w;
+        best_i = i;
+      }
+    }
+    if (session_->ReadBucket(missing[best_i].first)) {
+      ++stats_.items_read;
+      const uint32_t rank = missing[best_i].second;
+      const uint64_t key = index_.sorted_keys()[rank];
+      if (key >= lo && key <= hi) out.push_back(rank);
+      missing.erase(missing.begin() + static_cast<ptrdiff_t>(best_i));
+    } else {
+      ++stats_.buckets_lost;
+    }
+  }
   return out;
 }
 

@@ -101,23 +101,22 @@ bool HciClient::ReadNode(uint32_t node_id) {
   return false;
 }
 
-bool HciClient::ReadData(uint32_t data_id) {
+bool HciClient::TryReadData(uint32_t data_id) {
   if (retrieved_[data_id]) return true;
-  while (!WatchdogExpired()) {
-    if (session_->ReadBucket(index_.air().DataSlot(data_id))) {
-      ++stats_.objects_read;
-      retrieved_[data_id] = 1;
-      return true;
-    }
-    ++stats_.buckets_lost;  // retry next cycle
+  if (session_->ReadBucket(index_.air().DataSlot(data_id))) {
+    ++stats_.objects_read;
+    retrieved_[data_id] = 1;
+    return true;
   }
-  stats_.completed = false;
+  ++stats_.buckets_lost;
   return false;
 }
 
 void HciClient::FlushPassingData(uint32_t before_node) {
   // Repeatedly read the pending data bucket that comes up soonest, as long
-  // as it arrives before the node we are headed to.
+  // as it arrives before the node we are headed to. A lost bucket stays
+  // pending; its next occurrence is a cycle away, so the sweep moves on
+  // instead of blocking on the loss.
   while (!pending_data_.empty() && !WatchdogExpired()) {
     const size_t node_slot = index_.air().NextNodeSlot(before_node, *session_);
     const uint64_t node_wait = session_->PacketsUntil(node_slot);
@@ -132,10 +131,10 @@ void HciClient::FlushPassingData(uint32_t before_node) {
       }
     }
     if (best_i == SIZE_MAX || best_wait >= node_wait) return;
-    const uint32_t d = pending_data_[best_i];
-    pending_data_.erase(pending_data_.begin() +
-                        static_cast<ptrdiff_t>(best_i));
-    if (!ReadData(d)) return;
+    if (TryReadData(pending_data_[best_i])) {
+      pending_data_.erase(pending_data_.begin() +
+                          static_cast<ptrdiff_t>(best_i));
+    }
   }
 }
 
@@ -217,7 +216,9 @@ void HciClient::RetrieveRanges(const std::vector<hilbert::HcRange>& targets) {
       node = next;
     }
   }
-  // Drain the remaining pending data in occurrence order.
+  // Drain the remaining pending data in occurrence order; lost buckets stay
+  // pending and are retried when they come around again (sweeping, never
+  // blocking a cycle per loss).
   while (!pending_data_.empty()) {
     if (WatchdogExpired()) {
       stats_.completed = false;
@@ -233,10 +234,10 @@ void HciClient::RetrieveRanges(const std::vector<hilbert::HcRange>& targets) {
         best_i = i;
       }
     }
-    const uint32_t d = pending_data_[best_i];
-    pending_data_.erase(pending_data_.begin() +
-                        static_cast<ptrdiff_t>(best_i));
-    if (!ReadData(d)) return;
+    if (TryReadData(pending_data_[best_i])) {
+      pending_data_.erase(pending_data_.begin() +
+                          static_cast<ptrdiff_t>(best_i));
+    }
   }
 }
 
@@ -255,7 +256,7 @@ std::vector<datasets::SpatialObject> HciClient::WindowQuery(
 
 std::vector<datasets::SpatialObject> HciClient::KnnQuery(
     const common::Point& q, size_t k) {
-  assert(k > 0);
+  if (k == 0) return {};  // degenerate: the empty set, no listening needed
   const auto& tree = index_.tree();
   const auto& mapper = index_.mapper();
   const uint64_t h = mapper.PointToIndex(q);
@@ -293,8 +294,10 @@ std::vector<datasets::SpatialObject> HciClient::KnnQuery(
   // ran out of candidates.
   double radius;
   if (candidate_keys.size() < k) {
-    const common::Rect& u = mapper.universe();
-    radius = std::sqrt(u.Width() * u.Width() + u.Height() * u.Height());
+    // Fewer objects than k on the whole curve: the circle must cover every
+    // object. The universe diagonal is NOT enough when q lies outside the
+    // universe — use the exact farthest-corner distance from q.
+    radius = std::sqrt(mapper.universe().MaxSquaredDistance(q));
   } else {
     std::sort(candidate_keys.begin(), candidate_keys.end(),
               [h](uint64_t a, uint64_t b) {

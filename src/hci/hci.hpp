@@ -76,9 +76,10 @@ class HciClient {
   /// Reads node \p node_id at its next occurrence, retrying later
   /// occurrences on link errors. False only if the watchdog expires.
   bool ReadNode(uint32_t node_id);
-  /// Reads data bucket \p data_id (retrying next cycle on loss) and records
-  /// the object.
-  bool ReadData(uint32_t data_id);
+  /// One listen attempt for data bucket \p data_id at its next occurrence;
+  /// false on a link error (the bucket stays pending — callers sweep,
+  /// never block).
+  bool TryReadData(uint32_t data_id);
   /// Reads every pending data bucket that passes by before the next
   /// occurrence of \p before_node (a real client drains what it already
   /// knows it needs instead of letting it fly by).

@@ -37,42 +37,41 @@ bool RtreeClient::WatchdogExpired() const {
   return session_->now_packets() >= deadline_packets_;
 }
 
-bool RtreeClient::ReadNode(uint32_t node_id) {
+bool RtreeClient::TryReadNode(uint32_t node_id) {
   if (node_cache_[node_id]) return true;  // already downloaded this query
   // Drain pending data buckets that pass by on the way to the node.
   FlushPassingData(node_id);
-  while (!WatchdogExpired()) {
-    const size_t slot = index_.air().NextNodeSlot(node_id, *session_);
-    if (session_->ReadBucket(slot)) {
-      ++stats_.nodes_read;
-      node_cache_[node_id] = true;
-      return true;
-    }
-    ++stats_.buckets_lost;  // wait for the next occurrence (next replica
-                            // or next cycle)
+  const size_t slot = index_.air().NextNodeSlot(node_id, *session_);
+  if (session_->ReadBucket(slot)) {
+    ++stats_.nodes_read;
+    node_cache_[node_id] = true;
+    return true;
   }
-  stats_.completed = false;
+  // Lost: the node stays in the caller's frontier and competes again at
+  // its next occurrence. Blocking here would let every other frontier
+  // node fly by — a full-tree traversal under heavy loss then costs O(tree)
+  // extra cycles and spuriously trips the watchdog.
+  ++stats_.buckets_lost;
   return false;
 }
 
-bool RtreeClient::ReadData(uint32_t data_id) {
+bool RtreeClient::TryReadData(uint32_t data_id) {
   if (retrieved_[data_id]) return true;
-  while (!WatchdogExpired()) {
-    if (session_->ReadBucket(index_.air().DataSlot(data_id))) {
-      ++stats_.objects_read;
-      retrieved_[data_id] = 1;
-      return true;
-    }
-    ++stats_.buckets_lost;
+  if (session_->ReadBucket(index_.air().DataSlot(data_id))) {
+    ++stats_.objects_read;
+    retrieved_[data_id] = 1;
+    return true;
   }
-  stats_.completed = false;
+  ++stats_.buckets_lost;
   return false;
 }
 
 void RtreeClient::FlushPassingData(uint32_t before_node) {
   // Repeatedly read the pending data bucket that comes up soonest, as long
   // as it arrives before the node we are headed to (recomputed each pass,
-  // since reading advances time).
+  // since reading advances time). A lost bucket stays pending: its next
+  // occurrence is a cycle away, so the sweep moves on to whatever passes
+  // next instead of blocking on the loss.
   while (!pending_data_.empty() && !WatchdogExpired()) {
     const uint64_t node_wait = session_->PacketsUntil(
         index_.air().NextNodeSlot(before_node, *session_));
@@ -87,14 +86,18 @@ void RtreeClient::FlushPassingData(uint32_t before_node) {
       }
     }
     if (best_i == SIZE_MAX || best_wait >= node_wait) return;
-    const uint32_t d = pending_data_[best_i];
-    pending_data_.erase(pending_data_.begin() +
-                        static_cast<ptrdiff_t>(best_i));
-    if (!ReadData(d)) return;
+    if (TryReadData(pending_data_[best_i])) {
+      pending_data_.erase(pending_data_.begin() +
+                          static_cast<ptrdiff_t>(best_i));
+    }
   }
 }
 
 void RtreeClient::DrainPendingData() {
+  // Sweep in passing order; lost buckets stay pending and are retried when
+  // they come around again, alongside everything else still pending.
+  // (Blocking a full cycle per lost bucket would cost O(pending) extra
+  // cycles under heavy loss and spuriously trip the watchdog.)
   while (!pending_data_.empty() && !WatchdogExpired()) {
     uint64_t best_wait = UINT64_MAX;
     size_t best_i = 0;
@@ -106,10 +109,10 @@ void RtreeClient::DrainPendingData() {
         best_i = i;
       }
     }
-    const uint32_t d = pending_data_[best_i];
-    pending_data_.erase(pending_data_.begin() +
-                        static_cast<ptrdiff_t>(best_i));
-    if (!ReadData(d)) return;
+    if (TryReadData(pending_data_[best_i])) {
+      pending_data_.erase(pending_data_.begin() +
+                          static_cast<ptrdiff_t>(best_i));
+    }
   }
   if (!pending_data_.empty()) stats_.completed = false;
 }
@@ -136,12 +139,12 @@ std::vector<datasets::SpatialObject> RtreeClient::WindowQuery(
   while (!frontier.empty()) {
     if (WatchdogExpired()) {
       stats_.completed = false;
-      return {};
+      break;  // report what was retrieved; completed=false flags the abort
     }
     const size_t i = EarliestFrontierIndex(frontier);
     const uint32_t node = frontier[i];
+    if (!TryReadNode(node)) continue;  // lost: retried at next occurrence
     frontier.erase(frontier.begin() + static_cast<ptrdiff_t>(i));
-    if (!ReadNode(node)) return {};
     for (const Rtree::Entry& e : tree.entries(node)) {
       if (!e.mbr.Intersects(window)) continue;
       if (tree.is_leaf(node)) {
@@ -166,7 +169,7 @@ std::vector<datasets::SpatialObject> RtreeClient::WindowQuery(
 
 std::vector<datasets::SpatialObject> RtreeClient::KnnQuery(
     const common::Point& q, size_t k) {
-  assert(k > 0);
+  if (k == 0) return {};  // degenerate: the empty set, no listening needed
   const Rtree& tree = index_.tree();
 
   // Exact candidate distances come straight from leaf entries (points).
@@ -193,7 +196,7 @@ std::vector<datasets::SpatialObject> RtreeClient::KnnQuery(
   while (!frontier.empty()) {
     if (WatchdogExpired()) {
       stats_.completed = false;
-      return {};
+      break;  // fetch what is already known; completed=false flags it
     }
     // Prune frontier nodes that cannot beat the current k-th candidate.
     std::erase_if(frontier, [&](uint32_t id) {
@@ -202,8 +205,8 @@ std::vector<datasets::SpatialObject> RtreeClient::KnnQuery(
     if (frontier.empty()) break;
     const size_t i = EarliestFrontierIndex(frontier);
     const uint32_t node = frontier[i];
+    if (!TryReadNode(node)) continue;  // lost: retried at next occurrence
     frontier.erase(frontier.begin() + static_cast<ptrdiff_t>(i));
-    if (!ReadNode(node)) return {};
     for (const Rtree::Entry& e : tree.entries(node)) {
       const double mind2 = e.mbr.MinSquaredDistance(q);
       if (mind2 > tau2()) continue;

@@ -63,8 +63,13 @@ class RtreeClient {
   const RtreeQueryStats& stats() const { return stats_; }
 
  private:
-  bool ReadNode(uint32_t node_id);
-  bool ReadData(uint32_t data_id);
+  /// One listen attempt for \p node_id at its next occurrence; false on a
+  /// link error (the node stays in the frontier — callers sweep, never
+  /// block).
+  bool TryReadNode(uint32_t node_id);
+  /// One listen attempt for \p data_id at its next occurrence; false on a
+  /// link error (the bucket stays pending — callers sweep, never block).
+  bool TryReadData(uint32_t data_id);
   /// Reads pending data buckets that pass by before the next occurrence of
   /// \p before_node.
   void FlushPassingData(uint32_t before_node);

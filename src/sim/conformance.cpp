@@ -1,0 +1,311 @@
+#include "sim/conformance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "air/dsi_handle.hpp"
+#include "air/exp_handle.hpp"
+#include "air/hci_handle.hpp"
+#include "air/rtree_handle.hpp"
+#include "common/rng.hpp"
+#include "datasets/datasets.hpp"
+#include "dsi/index.hpp"
+#include "hci/hci.hpp"
+#include "hilbert/space_mapper.hpp"
+#include "rtree/rtree_air.hpp"
+#include "sim/workload.hpp"
+
+namespace dsi::sim {
+
+namespace {
+
+const char* ModeName(broadcast::ErrorMode mode) {
+  switch (mode) {
+    case broadcast::ErrorMode::kPerReadLoss: return "read";
+    case broadcast::ErrorMode::kSingleEvent: return "event";
+    case broadcast::ErrorMode::kPerBucketLoss: return "bucket";
+  }
+  return "read";
+}
+
+/// The query mix of one case: window workload plus three kNN workloads.
+struct CaseQueries {
+  std::vector<common::Rect> windows;
+  std::vector<common::Point> points;      // small-k workloads
+  std::vector<common::Point> big_points;  // k >= n workload
+  size_t big_k = 0;
+};
+
+CaseQueries MakeQueries(const ConformanceCase& c,
+                        const std::vector<datasets::SpatialObject>& objects) {
+  const common::Rect u = datasets::UnitUniverse();
+  common::Rng rng(c.seed * 0x9E3779B97F4A7C15ull + 0x51D);
+  CaseQueries q;
+
+  for (size_t i = 0; i < c.window_queries; ++i) {
+    const common::Point center{rng.Uniform(u.min_x, u.max_x),
+                               rng.Uniform(u.min_y, u.max_y)};
+    q.windows.push_back(common::MakeClippedWindow(
+        center, rng.Uniform(0.02, 0.6) * u.Width(), u));
+  }
+  // Degenerate shapes, in fixed order after the random windows:
+  // zero-area window sitting exactly on an object,
+  const common::Point on =
+      objects[static_cast<size_t>(rng.UniformInt(
+                  0, static_cast<int64_t>(objects.size()) - 1))]
+          .location;
+  q.windows.push_back(common::Rect{on.x, on.y, on.x, on.y});
+  // window fully outside the universe,
+  q.windows.push_back(common::Rect{u.max_x + 0.5, u.max_y + 0.5,
+                                   u.max_x + 1.0, u.max_y + 1.0});
+  // window overhanging the lower-left corner,
+  q.windows.push_back(common::Rect{u.min_x - 0.3, u.min_y - 0.3,
+                                   u.min_x + 0.2, u.min_y + 0.2});
+  // window strictly containing the universe.
+  q.windows.push_back(common::Rect{u.min_x - 1.0, u.min_y - 1.0,
+                                   u.max_x + 1.0, u.max_y + 1.0});
+
+  for (size_t i = 0; i < c.knn_points; ++i) {
+    q.points.push_back(common::Point{rng.Uniform(u.min_x, u.max_x),
+                                     rng.Uniform(u.min_y, u.max_y)});
+  }
+  // Degenerate points: slightly outside the universe, far outside, exactly
+  // on a universe corner, and exactly on an object.
+  q.points.push_back(
+      common::Point{u.max_x + rng.Uniform(0.05, 0.3), u.min_y - 0.1});
+  q.points.push_back(
+      common::Point{u.min_x - rng.Uniform(1.5, 4.0), u.max_y + 2.0});
+  q.points.push_back(common::Point{u.max_x, u.max_y});
+  q.points.push_back(
+      objects[static_cast<size_t>(rng.UniformInt(
+                  0, static_cast<int64_t>(objects.size()) - 1))]
+          .location);
+
+  // k >= dataset size must return every object. One inside point plus the
+  // far-outside degenerate: the bug-4 class (coverage radius too small)
+  // only manifests when k >= n AND q lies outside the universe.
+  q.big_points.push_back(q.points.front());
+  q.big_points.push_back(q.points[c.knn_points + 1]);  // far-outside point
+  q.big_k = objects.size() + 3;
+  return q;
+}
+
+std::string DescribeIdDiff(const std::vector<uint32_t>& oracle,
+                           const std::vector<uint32_t>& got) {
+  std::vector<uint32_t> missing;
+  std::set_difference(oracle.begin(), oracle.end(), got.begin(), got.end(),
+                      std::back_inserter(missing));
+  std::vector<uint32_t> extra;
+  std::set_difference(got.begin(), got.end(), oracle.begin(), oracle.end(),
+                      std::back_inserter(extra));
+  std::ostringstream os;
+  os << "oracle=" << oracle.size() << " got=" << got.size();
+  os << " missing={";
+  for (size_t i = 0; i < missing.size() && i < 8; ++i) {
+    os << (i != 0 ? "," : "") << missing[i];
+  }
+  if (missing.size() > 8) os << ",...";
+  os << "} extra={";
+  for (size_t i = 0; i < extra.size() && i < 8; ++i) {
+    os << (i != 0 ? "," : "") << extra[i];
+  }
+  if (extra.size() > 8) os << ",...";
+  os << "}";
+  return os.str();
+}
+
+std::string DescribeDistDiff(const std::vector<double>& oracle,
+                             const std::vector<double>& got) {
+  std::ostringstream os;
+  os << "oracle=" << oracle.size() << " got=" << got.size();
+  const size_t common_n = std::min(oracle.size(), got.size());
+  for (size_t i = 0; i < common_n; ++i) {
+    if (oracle[i] != got[i]) {
+      os << " first mismatch at [" << i << "]: oracle=" << oracle[i]
+         << " got=" << got[i];
+      break;
+    }
+  }
+  return os.str();
+}
+
+/// Runs one workload against one family handle, comparing each completed
+/// query to its oracle.
+void CheckWorkload(const air::AirIndexHandle& handle, const Workload& wl,
+                   const ConformanceCase& c, const std::string& family,
+                   const std::string& workload_name,
+                   const std::vector<datasets::SpatialObject>& objects,
+                   ConformanceReport* report) {
+  std::vector<QueryResult> results;
+  RunOptions opt;
+  opt.seed = c.seed;
+  opt.workers = c.workers;
+  opt.heap_clients = c.heap_clients;
+  opt.results = &results;
+  (void)RunWorkload(handle, wl, opt);
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    const QueryResult& r = results[i];
+    if (!r.completed) {
+      ++report->incomplete;
+      std::ostringstream os;
+      os << "aborted with " << r.ids.size() << " result ids";
+      report->incomplete_queries.push_back(
+          Divergence{family, workload_name, i, os.str()});
+      continue;
+    }
+    ++report->queries_checked;
+    if (wl.kind == QueryKind::kWindow) {
+      std::vector<uint32_t> oracle;
+      for (const auto& o : objects) {
+        if (wl.windows[i].Contains(o.location)) oracle.push_back(o.id);
+      }
+      std::sort(oracle.begin(), oracle.end());
+      if (oracle != r.ids) {
+        report->divergences.push_back(Divergence{
+            family, workload_name, i, DescribeIdDiff(oracle, r.ids)});
+      }
+    } else {
+      std::vector<double> oracle;
+      oracle.reserve(objects.size());
+      for (const auto& o : objects) {
+        oracle.push_back(common::Distance(wl.points[i], o.location));
+      }
+      std::sort(oracle.begin(), oracle.end());
+      oracle.resize(std::min(wl.k, oracle.size()));
+      if (oracle != r.knn_distances) {
+        report->divergences.push_back(Divergence{
+            family, workload_name, i,
+            DescribeDistDiff(oracle, r.knn_distances)});
+      }
+    }
+  }
+}
+
+void RunFamily(const air::AirIndexHandle& handle, const ConformanceCase& c,
+               const std::string& family, const CaseQueries& q,
+               const std::vector<datasets::SpatialObject>& objects,
+               ConformanceReport* report) {
+  CheckWorkload(handle,
+                Workload::Window(q.windows, c.theta, c.error_mode), c,
+                family, "window", objects, report);
+  CheckWorkload(handle,
+                Workload::Knn(q.points, c.k, air::KnnStrategy::kConservative,
+                              c.theta, c.error_mode),
+                c, family, "knn", objects, report);
+  CheckWorkload(handle,
+                Workload::Knn(q.points, c.k, air::KnnStrategy::kAggressive,
+                              c.theta, c.error_mode),
+                c, family, "knn-aggressive", objects, report);
+  CheckWorkload(handle,
+                Workload::Knn(q.big_points, q.big_k,
+                              air::KnnStrategy::kConservative, c.theta,
+                              c.error_mode),
+                c, family, "knn-big", objects, report);
+}
+
+bool WantFamily(const std::vector<std::string>& families,
+                const std::string& name) {
+  if (families.empty()) return true;
+  return std::find(families.begin(), families.end(), name) != families.end();
+}
+
+}  // namespace
+
+ConformanceCase MakeConformanceCase(uint64_t seed) {
+  ConformanceCase c;
+  c.seed = seed;
+  common::Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xC0F);
+
+  // Tiny datasets and coarse grids are where degenerate paths live
+  // (single-frame broadcasts, empty index tables, massive HC duplication).
+  c.n = static_cast<size_t>(rng.Bernoulli(0.15) ? rng.UniformInt(2, 12)
+                                                : rng.UniformInt(30, 500));
+  c.order = static_cast<int>(rng.UniformInt(2, 8));
+  const size_t capacities[] = {64, 128, 256, 512};
+  c.capacity = capacities[static_cast<size_t>(rng.UniformInt(0, 3))];
+  c.clustered = rng.Bernoulli(0.35);
+
+  // Structured coverage: consecutive seeds sweep m, error mode, allocation
+  // mode and worker count deterministically; the rest is random.
+  c.m = static_cast<uint32_t>(1 + seed % 3);
+  switch ((seed / 3) % 3) {
+    case 0: c.error_mode = broadcast::ErrorMode::kPerReadLoss; break;
+    case 1: c.error_mode = broadcast::ErrorMode::kSingleEvent; break;
+    case 2: c.error_mode = broadcast::ErrorMode::kPerBucketLoss; break;
+  }
+  c.theta = seed % 2 == 0 ? 0.0 : rng.Uniform(0.05, 0.7);
+  c.workers = 1 + (seed / 2) % 2;
+  c.heap_clients = (seed / 4) % 2 == 1;
+
+  const double of_draw = rng.Uniform(0.0, 1.0);
+  c.object_factor =
+      of_draw < 0.55 ? 1
+                     : (of_draw < 0.85
+                            ? static_cast<uint32_t>(rng.UniformInt(2, 8))
+                            : 0);  // 0 = packet-driven derivation
+  c.chunk_size = static_cast<uint32_t>(rng.UniformInt(1, 4));
+  c.k = static_cast<size_t>(rng.UniformInt(1, 12));
+  return c;
+}
+
+ConformanceReport RunConformanceCase(const ConformanceCase& c,
+                                     const std::vector<std::string>& families) {
+  const common::Rect u = datasets::UnitUniverse();
+  const auto objects =
+      c.clustered
+          ? datasets::MakeClustered(
+                c.n, 2 + c.seed % 9, 0.01 + 0.004 * static_cast<double>(c.seed % 10),
+                0.2, u, c.seed * 3 + 1)
+          : datasets::MakeUniform(c.n, u, c.seed * 3 + 1);
+  const hilbert::SpaceMapper mapper(u, c.order);
+  const CaseQueries q = MakeQueries(c, objects);
+
+  ConformanceReport report;
+  if (WantFamily(families, "dsi")) {
+    core::DsiConfig cfg;
+    cfg.num_segments = c.m;
+    cfg.object_factor = c.object_factor;
+    const core::DsiIndex index(objects, mapper, c.capacity, cfg);
+    RunFamily(air::DsiHandle(index), c, "dsi", q, objects, &report);
+  }
+  if (WantFamily(families, "rtree")) {
+    const rtree::RtreeIndex index(objects, c.capacity);
+    RunFamily(air::RtreeHandle(index), c, "rtree", q, objects, &report);
+  }
+  if (WantFamily(families, "hci")) {
+    const hci::HciIndex index(objects, mapper, c.capacity);
+    RunFamily(air::HciHandle(index), c, "hci", q, objects, &report);
+  }
+  if (WantFamily(families, "expindex")) {
+    expindex::ExpConfig cfg;
+    cfg.chunk_size = c.chunk_size;
+    const air::ExpHandle handle(objects, mapper, c.capacity, cfg);
+    RunFamily(handle, c, "expindex", q, objects, &report);
+  }
+  return report;
+}
+
+std::string FormatReproducer(const ConformanceCase& c,
+                             const std::string& family) {
+  std::ostringstream os;
+  // Round-trip precision for theta: every loss coin compares a draw against
+  // it, so a truncated reproducer would replay a *different* channel.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "conformance_fuzz --repro --seed=" << c.seed << " --n=" << c.n
+     << " --order=" << c.order << " --capacity=" << c.capacity
+     << " --clustered=" << (c.clustered ? 1 : 0) << " --m=" << c.m
+     << " --object-factor=" << c.object_factor
+     << " --chunk-size=" << c.chunk_size << " --theta=" << c.theta
+     << " --error-mode=" << ModeName(c.error_mode)
+     << " --workers=" << c.workers << " --heap=" << (c.heap_clients ? 1 : 0)
+     << " --windows=" << c.window_queries << " --knn-points=" << c.knn_points
+     << " --k=" << c.k;
+  if (!family.empty()) os << " --families=" << family;
+  return os.str();
+}
+
+}  // namespace dsi::sim

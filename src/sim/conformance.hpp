@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file conformance.hpp
+/// \brief Differential conformance harness: drives every index family
+/// through the *real* experiment engine (sim::RunWorkload, per-query
+/// sessions, arena or heap clients, lossy channels, mid-cycle tune-ins) and
+/// checks each query's result set against a brute-force oracle.
+///
+/// The paper's central correctness claim is that broadcast queries return
+/// exact answers no matter where in the cycle the client tunes in and no
+/// matter which buckets the channel corrupts (lost buckets only cost time).
+/// This harness enforces that claim as an executable oracle:
+///
+///  * a ConformanceCase is a fully seed-determined instance: dataset, curve
+///    order, packet capacity, DSI segment count m, object factor, channel
+///    error model, worker count, client allocation mode;
+///  * the query mix deliberately includes the degenerate shapes directed
+///    tests forget: zero-area (point) windows, windows clipped by or fully
+///    outside the universe, kNN with k >= dataset size, query points
+///    outside the universe;
+///  * every completed query must match the oracle exactly (window: id sets;
+///    kNN: distance multisets — ties may swap ids). Watchdog-aborted
+///    queries are reported separately, never silently compared.
+///
+/// The same entry points back tools/conformance_fuzz (sweep + shrink +
+/// one-line reproducers) and tests/conformance_test.cpp (CI seed sweep).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "broadcast/client.hpp"
+#include "sim/runner.hpp"
+
+namespace dsi::sim {
+
+/// One fully seed-determined conformance instance. Every field is encoded
+/// in the reproducer line, so a failure replays from the line alone.
+struct ConformanceCase {
+  uint64_t seed = 0;          ///< Master seed (queries, tune-ins, errors).
+  size_t n = 200;             ///< Dataset cardinality.
+  int order = 6;              ///< Hilbert curve order.
+  size_t capacity = 128;      ///< Packet capacity in bytes.
+  bool clustered = false;     ///< Clustered (vs uniform) dataset.
+  uint32_t m = 1;             ///< DSI broadcast segments (1 = original).
+  uint32_t object_factor = 1; ///< DSI objects per frame (0 = packet-driven).
+  uint32_t chunk_size = 1;    ///< Exponential-index items per chunk.
+  double theta = 0.0;         ///< Link-error rate.
+  broadcast::ErrorMode error_mode = broadcast::ErrorMode::kPerReadLoss;
+  size_t workers = 1;         ///< Engine worker threads.
+  bool heap_clients = false;  ///< Heap (vs arena) client construction.
+  /// Random window queries; four degenerate shapes (zero-area window on an
+  /// object, window fully outside the universe, window overhanging an edge,
+  /// window strictly containing the universe) are always appended.
+  size_t window_queries = 4;
+  /// Random kNN points; four degenerate points (just outside the universe,
+  /// far outside it, a universe corner, the exact location of an object)
+  /// are always appended.
+  size_t knn_points = 2;
+  size_t k = 8;  ///< Small-k value; a k >= n workload always runs too.
+};
+
+/// Randomizes a case from a sweep seed. Guarantees coverage of m = 1 and
+/// m >= 2, clean and lossy channels, all three error modes, both client
+/// allocation modes and 1-vs-2 workers across consecutive seeds.
+ConformanceCase MakeConformanceCase(uint64_t seed);
+
+/// One query whose result set deviated from the brute-force oracle.
+struct Divergence {
+  std::string family;      ///< "dsi", "rtree", "hci", "expindex".
+  std::string workload;    ///< "window", "knn", "knn-aggressive", "knn-big".
+  size_t query_index = 0;  ///< Index within that workload.
+  std::string detail;      ///< Human-readable oracle-vs-got diff.
+};
+
+/// Outcome of one case run.
+struct ConformanceReport {
+  std::vector<Divergence> divergences;
+  size_t queries_checked = 0;  ///< Completed queries compared to the oracle.
+  size_t incomplete = 0;       ///< Watchdog-aborted queries (skipped).
+  /// Where each watchdog abort happened (detail carries the result sizes);
+  /// aborts are legitimate only under sustained heavy loss, so harness
+  /// users assert on this list for moderate-theta sweeps.
+  std::vector<Divergence> incomplete_queries;
+};
+
+/// Runs \p c against every family in \p families (empty = all four) and
+/// reports all divergences.
+ConformanceReport RunConformanceCase(
+    const ConformanceCase& c, const std::vector<std::string>& families = {});
+
+/// The one-line reproducer for a failing case: a conformance_fuzz command
+/// line that replays exactly this instance (optionally restricted to one
+/// family).
+std::string FormatReproducer(const ConformanceCase& c,
+                             const std::string& family = "");
+
+}  // namespace dsi::sim

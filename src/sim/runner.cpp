@@ -1,6 +1,7 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -31,30 +32,54 @@ struct ShardSums {
 };
 
 ShardSums RunShard(const air::AirIndexHandle& index, const Workload& wl,
-                   uint64_t seed, size_t begin, size_t end) {
+                   const RunOptions& options, size_t begin, size_t end) {
   const broadcast::BroadcastProgram& program = index.program();
   // One arena per pool thread, kept warm across shards AND RunWorkload
   // calls: every query constructs its client into recycled storage.
   thread_local air::ClientArena arena;
   ShardSums sums;
   for (size_t i = begin; i < end; ++i) {
-    common::Rng rng(MixSeed(seed, i));
+    common::Rng rng(MixSeed(options.seed, i));
     const auto tune_in = static_cast<uint64_t>(rng.UniformInt(
         0, static_cast<int64_t>(program.cycle_packets()) - 1));
     broadcast::ClientSession session(
         program, tune_in, broadcast::ErrorModel{wl.theta, wl.error_mode},
         rng.Fork());
-    air::AirClient* client = index.MakeClientIn(arena, &session);
-    if (wl.kind == QueryKind::kWindow) {
-      (void)client->WindowQuery(wl.windows[i]);
+    std::unique_ptr<air::AirClient> heap_client;
+    air::AirClient* client;
+    if (options.heap_clients) {
+      heap_client = index.MakeClient(&session);
+      client = heap_client.get();
     } else {
-      (void)client->KnnQuery(wl.points[i], wl.k, wl.strategy);
+      client = index.MakeClientIn(arena, &session);
+    }
+    std::vector<datasets::SpatialObject> answer;
+    if (wl.kind == QueryKind::kWindow) {
+      answer = client->WindowQuery(wl.windows[i]);
+    } else {
+      answer = client->KnnQuery(wl.points[i], wl.k, wl.strategy);
     }
     const broadcast::Metrics m = session.metrics();
     sums.latency_bytes += m.access_latency_bytes;
     sums.tuning_bytes += m.tuning_bytes;
     ++sums.queries;
     if (!client->stats().completed) ++sums.incomplete;
+    if (options.results != nullptr) {
+      QueryResult& r = (*options.results)[i];  // disjoint per query: no race
+      r.ids.clear();
+      r.knn_distances.clear();
+      r.ids.reserve(answer.size());
+      for (const datasets::SpatialObject& o : answer) r.ids.push_back(o.id);
+      std::sort(r.ids.begin(), r.ids.end());
+      if (wl.kind == QueryKind::kKnn) {
+        r.knn_distances.reserve(answer.size());
+        for (const datasets::SpatialObject& o : answer) {
+          r.knn_distances.push_back(common::Distance(wl.points[i], o.location));
+        }
+        std::sort(r.knn_distances.begin(), r.knn_distances.end());
+      }
+      r.completed = client->stats().completed;
+    }
   }
   return sums;
 }
@@ -65,6 +90,7 @@ AvgMetrics RunWorkload(const air::AirIndexHandle& index,
                        const Workload& workload, const RunOptions& options) {
   const size_t n = workload.size();
   AvgMetrics avg;
+  if (options.results != nullptr) options.results->assign(n, QueryResult{});
   // Guard: an empty program has no packet to tune into (the tune-in draw
   // would underflow), and an empty workload has nothing to average.
   if (n == 0 || index.program().cycle_packets() == 0) return avg;
@@ -77,7 +103,7 @@ AvgMetrics RunWorkload(const air::AirIndexHandle& index,
 
   ShardSums total;
   if (workers <= 1) {
-    total = RunShard(index, workload, options.seed, 0, n);
+    total = RunShard(index, workload, options, 0, n);
   } else {
     // Shard boundaries depend only on (n, workers); per-query seeds depend
     // only on the query index, so any worker count reproduces the serial
@@ -87,7 +113,7 @@ AvgMetrics RunWorkload(const air::AirIndexHandle& index,
     WorkerPool::Instance().Run(workers, [&](size_t w) {
       const size_t begin = n * w / workers;
       const size_t end = n * (w + 1) / workers;
-      shard_sums[w] = RunShard(index, workload, options.seed, begin, end);
+      shard_sums[w] = RunShard(index, workload, options, begin, end);
     });
     for (const ShardSums& s : shard_sums) {
       total.latency_bytes += s.latency_bytes;

@@ -16,11 +16,24 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "air/air_index.hpp"
 #include "sim/workload.hpp"
 
 namespace dsi::sim {
+
+/// The answer one query produced, captured when RunOptions::results is set.
+/// Conformance harnesses compare these against brute-force oracles; the
+/// byte metrics deliberately stay separate (they are averages, results are
+/// per query).
+struct QueryResult {
+  std::vector<uint32_t> ids;  ///< Object ids of the result set, sorted.
+  /// kKnn only: distances from the query point, sorted ascending. Oracle
+  /// comparisons use these (ids may legitimately differ under ties).
+  std::vector<double> knn_distances;
+  bool completed = true;  ///< False if the watchdog aborted the query.
+};
 
 /// Averaged byte metrics over a workload.
 struct AvgMetrics {
@@ -42,6 +55,13 @@ struct RunOptions {
   uint64_t seed = 0;
   /// Worker threads to shard queries over; 0 = one per hardware thread.
   size_t workers = 1;
+  /// When set, resized to the workload size and filled with the per-query
+  /// result sets (entry i belongs to query i regardless of worker count).
+  std::vector<QueryResult>* results = nullptr;
+  /// Construct each query's client on the heap (AirIndexHandle::MakeClient)
+  /// instead of the per-worker arena. Results and metrics must be identical
+  /// either way; conformance runs exercise both paths.
+  bool heap_clients = false;
 };
 
 /// Runs every query of \p workload against \p index and averages the

@@ -147,6 +147,112 @@ TEST(ClientSessionTest, TuneInAcrossCycles) {
   EXPECT_EQ(s.now_packets(), 100u + 33u);
 }
 
+TEST(BroadcastProgramTest, SlotStartingAtOrAfterLastPacketAndPastEnd) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  // Inside the last bucket, including its final packet: wraps to slot 0.
+  EXPECT_EQ(p.SlotStartingAtOrAfter(p.cycle_packets() - 1), 0u);
+  // At or past the cycle length (callers normalize, but the function is
+  // documented to wrap).
+  EXPECT_EQ(p.SlotStartingAtOrAfter(p.cycle_packets()), 0u);
+  // A bucket boundary exactly on the last packet must NOT wrap.
+  BroadcastProgram q(64);
+  q.AddBucket(BucketKind::kDataObject, 0, 1024);  // packets 0..15
+  q.AddBucket(BucketKind::kDsiFrameTable, 0, 50);  // packet 16 (last)
+  q.Finalize();
+  ASSERT_EQ(q.cycle_packets(), 17u);
+  EXPECT_EQ(q.SlotStartingAtOrAfter(16), 1u);
+  EXPECT_EQ(q.SlotStartingAtOrAfter(15), 1u);
+}
+
+TEST(ClientSessionTest, TuneInOnLastPacketOfCycle) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  // Tune in exactly on the cycle's last packet (49): the probe listens to
+  // it, and the next bucket boundary is slot 0 of the NEXT cycle, with no
+  // extra doze (the probe ends exactly on the boundary).
+  ClientSession s(p, p.cycle_packets() - 1, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();
+  EXPECT_EQ(s.current_slot(), 0u);
+  EXPECT_EQ(s.now_packets(), p.cycle_packets());
+  EXPECT_EQ(s.metrics().access_latency_bytes, 64u);  // one probe packet
+  EXPECT_TRUE(s.ReadBucket(0));
+  EXPECT_EQ(s.current_slot(), 1u);
+}
+
+TEST(ClientSessionTest, TuneInOnLastPacketOfLaterCycle) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  // Same, several cycles in: global packet 3*50 - 1.
+  ClientSession s(p, 3 * p.cycle_packets() - 1, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();
+  EXPECT_EQ(s.current_slot(), 0u);
+  EXPECT_EQ(s.now_packets(), 3 * p.cycle_packets());
+}
+
+TEST(ClientSessionTest, TuneInOnLastSlotBoundary) {
+  BroadcastProgram p(64);
+  p.AddBucket(BucketKind::kDataObject, 0, 1024);   // packets 0..15
+  p.AddBucket(BucketKind::kDsiFrameTable, 0, 50);  // packet 16 (last)
+  p.Finalize();
+  // Tune in on packet 15: probe listens to it, the next boundary is the
+  // one-packet bucket starting exactly on the last packet of the cycle.
+  ClientSession s(p, 15, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();
+  EXPECT_EQ(s.current_slot(), 1u);
+  EXPECT_EQ(s.now_packets(), 16u);
+  ASSERT_TRUE(s.ReadBucket(1));  // reading it wraps into the next cycle
+  EXPECT_EQ(s.current_slot(), 0u);
+  EXPECT_EQ(s.now_packets(), 17u);
+  EXPECT_EQ(s.PacketsUntil(0), 0u);
+}
+
+TEST(ClientSessionTest, PerBucketLossIsChannelDeterministic) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  const ErrorModel errors{0.5, ErrorMode::kPerBucketLoss};
+  // Two sessions with the same rng seed observing the same bucket instances
+  // agree on every outcome, regardless of what else they read in between.
+  std::vector<bool> a_out, b_out;
+  {
+    ClientSession a(p, 0, errors, common::Rng(7));
+    a.InitialProbe();
+    for (int i = 0; i < 40; ++i) a_out.push_back(a.ReadBucket(1));
+  }
+  {
+    ClientSession b(p, 0, errors, common::Rng(7));
+    b.InitialProbe();
+    b.ReadBucket(3);  // extra read; bucket 1's instances are unaffected
+    for (int i = 0; i < 39; ++i) b_out.push_back(b.ReadBucket(1));
+  }
+  // Session b skipped bucket 1's first instance while reading bucket 3, so
+  // its outcomes align with a's from the second instance on.
+  for (size_t i = 0; i < b_out.size(); ++i) {
+    EXPECT_EQ(b_out[i], a_out[i + 1]) << "instance " << i + 1;
+  }
+}
+
+TEST(ClientSessionTest, PerBucketLossRetryNextCycleDrawsFreshCoin) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  ClientSession s(p, 0, ErrorModel{0.5, ErrorMode::kPerBucketLoss},
+                  common::Rng(21));
+  s.InitialProbe();
+  // Under a fresh coin per cycle, 60 consecutive cycles cannot all lose
+  // (probability 2^-60); a read-order-coupled model would livelock here.
+  bool got = false;
+  for (int i = 0; i < 60 && !got; ++i) got = s.ReadBucket(2);
+  EXPECT_TRUE(got);
+}
+
+TEST(ClientSessionTest, PerBucketLossRateStatistical) {
+  const BroadcastProgram p = MakeSimpleProgram();
+  ClientSession s(p, 0, ErrorModel{0.3, ErrorMode::kPerBucketLoss},
+                  common::Rng(42));
+  s.InitialProbe();
+  int lost = 0;
+  const int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!s.ReadBucket(s.current_slot())) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / kTrials, 0.3, 0.04);
+}
+
 TEST(ClientSessionTest, LossyChannelStillChargesCosts) {
   const BroadcastProgram p = MakeSimpleProgram();
   ClientSession s(p, 0, ErrorModel{1.0}, common::Rng(1));

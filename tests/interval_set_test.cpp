@@ -85,6 +85,68 @@ TEST(IntervalSetTest, SubtractEdgeTouching) {
   EXPECT_EQ(rem[0], (HcRange{21, 25}));
 }
 
+// SubtractInto with targets that exactly touch or equal set ranges: the
+// linear-merge cursor must neither drop a touching remainder nor emit an
+// empty one.
+TEST(IntervalSetTest, SubtractIntoTouchingAndIdentical) {
+  IntervalSet s;
+  s.Add({10, 20});
+  s.Add({30, 40});
+  std::vector<HcRange> out;
+
+  // Target identical to a set range: nothing remains.
+  s.SubtractInto({{10, 20}}, &out);
+  EXPECT_TRUE(out.empty());
+
+  // Target identical to the union span: only the gap remains.
+  s.SubtractInto({{10, 40}}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (HcRange{21, 29}));
+
+  // Targets touching range endpoints from both sides.
+  s.SubtractInto({{9, 10}, {20, 21}}, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (HcRange{9, 9}));
+  EXPECT_EQ(out[1], (HcRange{21, 21}));
+
+  // Adjacent one-point targets exactly at hi+1 and lo-1 survive whole.
+  s.SubtractInto({{21, 21}, {29, 29}}, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (HcRange{21, 21}));
+  EXPECT_EQ(out[1], (HcRange{29, 29}));
+
+  // One-point targets on range endpoints vanish.
+  s.SubtractInto({{10, 10}, {20, 20}, {30, 30}, {40, 40}}, &out);
+  EXPECT_TRUE(out.empty());
+
+  // A target spanning several set ranges, ends exactly on range bounds.
+  s.SubtractInto({{10, 40}, {41, 50}}, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (HcRange{21, 29}));
+  EXPECT_EQ(out[1], (HcRange{41, 50}));
+
+  // Empty target list clears the out buffer.
+  out.assign(3, HcRange{1, 2});
+  s.SubtractInto({}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+// SubtractInto at the extremes of the uint64 domain (the DSI client's
+// "whole HC space" target when the kNN radius is still unbounded).
+TEST(IntervalSetTest, SubtractIntoDomainExtremes) {
+  IntervalSet s;
+  s.Add({0, 9});
+  s.Add({UINT64_MAX - 4, UINT64_MAX});
+  std::vector<HcRange> out;
+  s.SubtractInto({{0, UINT64_MAX}}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (HcRange{10, UINT64_MAX - 5}));
+
+  s.Add({10, UINT64_MAX - 5});
+  s.SubtractInto({{0, UINT64_MAX}}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
 // Randomized property check against a per-point oracle.
 TEST(IntervalSetTest, RandomizedMatchesPointOracle) {
   common::Rng rng(99);

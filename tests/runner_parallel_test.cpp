@@ -100,7 +100,8 @@ TEST_F(ParallelParityFixture, LossyChannelParity) {
   const auto windows =
       sim::MakeWindowWorkload(8, 0.1, datasets::UnitUniverse(), 29);
   for (const auto mode : {broadcast::ErrorMode::kPerReadLoss,
-                          broadcast::ErrorMode::kSingleEvent}) {
+                          broadcast::ErrorMode::kSingleEvent,
+                          broadcast::ErrorMode::kPerBucketLoss}) {
     const auto workload = sim::Workload::Window(windows, 0.5, mode);
     for (const air::AirIndexHandle* handle : Handles()) {
       const auto serial =
@@ -192,6 +193,54 @@ TEST_F(ParallelParityFixture, ArenaClientsMatchHeapClients) {
       EXPECT_EQ(heap_session.metrics().tuning_bytes,
                 arena_session.metrics().tuning_bytes)
           << handle->family();
+    }
+  }
+}
+
+TEST_F(ParallelParityFixture, ResultCaptureParityAcrossShardingAndAllocation) {
+  // RunOptions::results entries are keyed by query index, so any worker
+  // count — and the heap-vs-arena client mode — must fill identical result
+  // sets, lossless and lossy.
+  const auto windows =
+      sim::MakeWindowWorkload(9, 0.12, datasets::UnitUniverse(), 51);
+  const auto points = sim::MakeKnnWorkload(9, datasets::UnitUniverse(), 53);
+  const sim::Workload workloads[] = {
+      sim::Workload::Window(windows),
+      sim::Workload::Window(windows, 0.4),
+      sim::Workload::Knn(points, 5),
+      sim::Workload::Knn(points, 5, air::KnnStrategy::kConservative, 0.4,
+                         broadcast::ErrorMode::kPerBucketLoss),
+  };
+  for (const air::AirIndexHandle* handle : Handles()) {
+    for (const sim::Workload& workload : workloads) {
+      std::vector<sim::QueryResult> baseline;
+      sim::RunOptions base_opt;
+      base_opt.seed = 211;
+      base_opt.workers = 1;
+      base_opt.results = &baseline;
+      (void)sim::RunWorkload(*handle, workload, base_opt);
+      ASSERT_EQ(baseline.size(), workload.size());
+
+      for (const bool heap : {false, true}) {
+        for (const size_t workers : {1u, 4u}) {
+          std::vector<sim::QueryResult> got;
+          sim::RunOptions opt;
+          opt.seed = 211;
+          opt.workers = workers;
+          opt.heap_clients = heap;
+          opt.results = &got;
+          (void)sim::RunWorkload(*handle, workload, opt);
+          ASSERT_EQ(got.size(), baseline.size());
+          for (size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].ids, baseline[i].ids)
+                << handle->family() << " query " << i << " workers "
+                << workers << " heap " << heap;
+            EXPECT_EQ(got[i].knn_distances, baseline[i].knn_distances)
+                << handle->family() << " query " << i;
+            EXPECT_EQ(got[i].completed, baseline[i].completed);
+          }
+        }
+      }
     }
   }
 }

@@ -1,0 +1,239 @@
+/// \file conformance_fuzz.cpp
+/// \brief Differential conformance fuzzer over the broadcast engine.
+///
+/// Sweep mode (default) replays seed-determined conformance cases — all
+/// four index families, lossy channels, reorganized broadcasts, degenerate
+/// queries — against brute-force oracles:
+///
+///   conformance_fuzz --seeds=200 [--start=0] [--families=dsi,hci]
+///
+/// A case fails on any oracle divergence OR any watchdog-aborted query
+/// (sweep cases cap theta at 0.7, where every family must finish; phantom
+/// aborts are how the blocking-recovery bug class manifests). The driver
+/// then shrinks the failing instance (smaller dataset, lossless channel,
+/// serial arena execution — whatever keeps it failing) and prints a
+/// one-line reproducer. Replaying one is repro mode:
+///
+///   conformance_fuzz --repro --seed=17 --n=64 --order=5 ... --families=dsi
+///
+/// which runs exactly that instance and prints every divergence in full.
+/// Exit code 0 = conformant, 1 = divergence, 2 = bad usage.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/conformance.hpp"
+
+namespace {
+
+using dsi::sim::ConformanceCase;
+using dsi::sim::ConformanceReport;
+using dsi::sim::Divergence;
+
+struct Args {
+  bool repro = false;
+  uint64_t seeds = 50;
+  uint64_t start = 0;
+  std::vector<std::string> families;
+  ConformanceCase base;     // repro mode: explicit case
+  bool have_seed = false;
+};
+
+std::vector<std::string> SplitFamilies(const std::string& value) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < value.size()) {
+    const size_t comma = value.find(',', pos);
+    const size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end > pos) out.push_back(value.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+bool ParseMode(const std::string& value, dsi::broadcast::ErrorMode* mode) {
+  if (value == "read") *mode = dsi::broadcast::ErrorMode::kPerReadLoss;
+  else if (value == "event") *mode = dsi::broadcast::ErrorMode::kSingleEvent;
+  else if (value == "bucket") *mode = dsi::broadcast::ErrorMode::kPerBucketLoss;
+  else return false;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    auto u64 = [&]() { return static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10)); };
+    if (key == "--repro") args->repro = true;
+    else if (key == "--seeds") args->seeds = u64();
+    else if (key == "--start") args->start = u64();
+    else if (key == "--families") args->families = SplitFamilies(value);
+    else if (key == "--seed") { args->base.seed = u64(); args->have_seed = true; }
+    else if (key == "--n") args->base.n = u64();
+    else if (key == "--order") args->base.order = static_cast<int>(u64());
+    else if (key == "--capacity") args->base.capacity = u64();
+    else if (key == "--clustered") args->base.clustered = u64() != 0;
+    else if (key == "--m") args->base.m = static_cast<uint32_t>(u64());
+    else if (key == "--object-factor") args->base.object_factor = static_cast<uint32_t>(u64());
+    else if (key == "--chunk-size") args->base.chunk_size = static_cast<uint32_t>(u64());
+    else if (key == "--theta") args->base.theta = std::strtod(value.c_str(), nullptr);
+    else if (key == "--error-mode") { if (!ParseMode(value, &args->base.error_mode)) return false; }
+    else if (key == "--workers") args->base.workers = u64();
+    else if (key == "--heap") args->base.heap_clients = u64() != 0;
+    else if (key == "--windows") args->base.window_queries = u64();
+    else if (key == "--knn-points") args->base.knn_points = u64();
+    else if (key == "--k") args->base.k = u64();
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintDivergences(const ConformanceCase& c, const ConformanceReport& r) {
+  for (const Divergence& d : r.divergences) {
+    std::printf("  DIVERGENCE family=%s workload=%s query=%zu: %s\n",
+                d.family.c_str(), d.workload.c_str(), d.query_index,
+                d.detail.c_str());
+  }
+  for (const Divergence& d : r.incomplete_queries) {
+    std::printf("  INCOMPLETE family=%s workload=%s query=%zu: %s\n",
+                d.family.c_str(), d.workload.c_str(), d.query_index,
+                d.detail.c_str());
+  }
+  std::printf("  checked=%zu incomplete=%zu divergences=%zu\n",
+              r.queries_checked, r.incomplete, r.divergences.size());
+  (void)c;
+}
+
+/// A case fails if any query diverged from the oracle OR was watchdog-
+/// aborted: the sweep's cases cap theta at 0.7, where every family must
+/// finish (phantom aborts were exactly how the blocking-on-lost-buckets
+/// bug class manifested — they must fail CI, not just divergences).
+bool CaseFails(const ConformanceReport& r) {
+  return !r.divergences.empty() || r.incomplete > 0;
+}
+
+/// Greedy shrink: apply each simplification while the (family-restricted)
+/// case keeps failing; every accepted step makes the reproducer smaller
+/// or more deterministic.
+ConformanceCase Shrink(ConformanceCase c,
+                       const std::vector<std::string>& families) {
+  auto fails = [&](const ConformanceCase& candidate) {
+    return CaseFails(RunConformanceCase(candidate, families));
+  };
+  // Smaller dataset.
+  while (c.n / 2 >= 8) {
+    ConformanceCase candidate = c;
+    candidate.n = c.n / 2;
+    if (!fails(candidate)) break;
+    c = candidate;
+  }
+  // Lossless channel.
+  if (c.theta != 0.0) {
+    ConformanceCase candidate = c;
+    candidate.theta = 0.0;
+    if (fails(candidate)) c = candidate;
+  }
+  // Serial, arena-allocated execution.
+  if (c.workers != 1 || c.heap_clients) {
+    ConformanceCase candidate = c;
+    candidate.workers = 1;
+    candidate.heap_clients = false;
+    if (fails(candidate)) c = candidate;
+  }
+  // Fewer random queries (degenerates always remain).
+  while (c.window_queries > 0 || c.knn_points > 0) {
+    ConformanceCase candidate = c;
+    candidate.window_queries = c.window_queries / 2;
+    candidate.knn_points = c.knn_points / 2;
+    if (!fails(candidate)) break;
+    c = candidate;
+    if (candidate.window_queries == 0 && candidate.knn_points == 0) break;
+  }
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  // A hand-edited reproducer line must fail as usage error, not crash.
+  if (args.base.n == 0 || args.base.order < 1 || args.base.order > 16 ||
+      args.base.capacity < 32 || args.base.theta < 0.0 ||
+      args.base.theta > 1.0 || args.base.workers == 0) {
+    std::fprintf(stderr,
+                 "invalid case: need --n>=1, 1<=--order<=16, --capacity>=32, "
+                 "0<=--theta<=1, --workers>=1\n");
+    return 2;
+  }
+
+  if (args.repro) {
+    if (!args.have_seed) {
+      std::fprintf(stderr, "--repro requires --seed\n");
+      return 2;
+    }
+    const ConformanceReport r =
+        RunConformanceCase(args.base, args.families);
+    std::printf("repro seed=%llu\n",
+                static_cast<unsigned long long>(args.base.seed));
+    PrintDivergences(args.base, r);
+    return CaseFails(r) ? 1 : 0;
+  }
+
+  size_t checked = 0;
+  size_t incomplete = 0;
+  for (uint64_t seed = args.start; seed < args.start + args.seeds; ++seed) {
+    const ConformanceCase c = dsi::sim::MakeConformanceCase(seed);
+    const ConformanceReport r = RunConformanceCase(c, args.families);
+    checked += r.queries_checked;
+    incomplete += r.incomplete;
+    if (CaseFails(r)) {
+      std::printf("seed %llu FAILED:\n",
+                  static_cast<unsigned long long>(seed));
+      PrintDivergences(c, r);
+      // Shrink against the families that actually failed.
+      std::vector<std::string> failing;
+      for (const std::vector<Divergence>* list :
+           {&r.divergences, &r.incomplete_queries}) {
+        for (const Divergence& d : *list) {
+          if (std::find(failing.begin(), failing.end(), d.family) ==
+              failing.end()) {
+            failing.push_back(d.family);
+          }
+        }
+      }
+      const ConformanceCase small = Shrink(c, failing);
+      const ConformanceReport small_r = RunConformanceCase(small, failing);
+      std::printf("shrunk instance:\n");
+      PrintDivergences(small, small_r);
+      std::string fam_list;
+      for (const std::string& f : failing) {
+        fam_list += (fam_list.empty() ? "" : ",") + f;
+      }
+      std::printf("REPRODUCE: %s\n",
+                  dsi::sim::FormatReproducer(small, fam_list).c_str());
+      return 1;
+    }
+    if ((seed - args.start + 1) % 25 == 0) {
+      std::printf("... %llu seeds done (%zu queries checked, %zu incomplete)\n",
+                  static_cast<unsigned long long>(seed - args.start + 1),
+                  checked, incomplete);
+    }
+  }
+  std::printf(
+      "CONFORMANT: %llu seeds, %zu queries checked against the oracle, "
+      "%zu incomplete (watchdog) skipped\n",
+      static_cast<unsigned long long>(args.seeds), checked, incomplete);
+  return 0;
+}
