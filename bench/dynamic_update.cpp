@@ -1,0 +1,129 @@
+/// Dynamic-update bench (Figure 8's successor): the fig8 bench measures
+/// reorganization statically; this one measures the update story the
+/// paper's fully distributed structure was designed for, dynamically.
+///
+/// (a) Server side: republication cost per generation, swept over the
+///     update rate — the full-rebuild baseline re-emits the whole cycle,
+///     DSI's incremental path (sorted-order merge) re-emits only changed
+///     buckets (core::DiffGenerations).
+/// (b) Client side: a 4-generation broadcast with seed-determined update
+///     streams between generations; tune-ins cover the whole horizon, so
+///     queries straddle republication instants, detect the on-air
+///     generation stamp, invalidate stale learned state and restart. DSI
+///     vs the R-tree baseline, against each family's static single-
+///     generation numbers from the same workload.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsi;
+  const bench::Options opt = bench::ParseOptions(argc, argv);
+  const auto objects = bench::MakeDataset(opt);
+  const auto u = datasets::UnitUniverse();
+  const hilbert::SpaceMapper mapper(u, bench::OrderFor(opt));
+  constexpr size_t kCapacity = 128;
+
+  std::cout << "Dynamic broadcast generations ("
+            << (opt.real ? "REAL-like" : "UNIFORM") << ", " << objects.size()
+            << " objects, " << opt.queries << " queries/point)\n\n";
+
+  // (a) Republication cost vs update rate. Updates are ~1/3 inserts, ~1/3
+  // deletes, ~1/3 moves (datasets::MakeUpdateStream).
+  std::cout << "(a) Server republication cost per generation, bytes x10^3 "
+               "(rebuild re-emits the cycle; incremental re-emits re-stamped "
+               "tables + re-serialized payloads of inserted/moved objects):\n";
+  sim::TablePrinter cost({"Updates", "Rebuild", "Incremental", "Tables",
+                          "Data", "Bytes%"});
+  cost.PrintHeader();
+  for (const double rate : {0.002, 0.01, 0.05, 0.20}) {
+    const auto count = static_cast<size_t>(
+        static_cast<double>(objects.size()) * rate);
+    const core::DsiIndex base(objects, mapper, kCapacity, bench::DsiOriginal());
+    const auto ops = datasets::MakeUpdateStream(
+        objects, count == 0 ? 1 : count, u, opt.seed + 11);
+    const core::DsiIndex next = core::DsiIndex::Republish(base, ops);
+    const auto delta = core::DiffGenerations(base, next);
+    cost.PrintRow(ops.size(),
+                  static_cast<double>(delta.bytes_total) / 1e3,
+                  static_cast<double>(delta.bytes_changed) / 1e3,
+                  static_cast<double>(delta.table_bytes_changed) / 1e3,
+                  static_cast<double>(delta.data_bytes_changed) / 1e3,
+                  100.0 * static_cast<double>(delta.bytes_changed) /
+                      static_cast<double>(delta.bytes_total));
+  }
+
+  // (b) Clients across a 4-generation schedule (2 cycles per generation,
+  // 2% updates between generations).
+  const auto windows = sim::MakeWindowWorkload(opt.queries, 0.1, u,
+                                               opt.seed + 1);
+  const auto win_workload = sim::Workload::Window(windows);
+  const size_t updates = std::max<size_t>(1, objects.size() / 50);
+
+  std::vector<std::vector<datasets::SpatialObject>> gen_objects{objects};
+  std::vector<std::vector<datasets::UpdateOp>> gen_ops;
+  for (int g = 1; g < 4; ++g) {
+    gen_ops.push_back(datasets::MakeUpdateStream(
+        gen_objects.back(), updates, u, opt.seed + 20 + static_cast<uint64_t>(g)));
+    gen_objects.push_back(
+        datasets::ApplyUpdates(gen_objects.back(), gen_ops.back()));
+  }
+
+  std::cout << "\n(b) Window queries across 4 generations (2 cycles each, "
+            << updates << " updates/generation), bytes x10^3:\n";
+  sim::TablePrinter dyn({"Family", "Lat(Static)", "Lat(Dyn)", "Tun(Static)",
+                         "Tun(Dyn)", "Restarted"});
+  dyn.PrintHeader();
+
+  {
+    std::vector<std::unique_ptr<core::DsiIndex>> indexes;
+    indexes.push_back(std::make_unique<core::DsiIndex>(
+        gen_objects[0], mapper, kCapacity, bench::DsiOriginal()));
+    for (int g = 1; g < 4; ++g) {
+      indexes.push_back(std::make_unique<core::DsiIndex>(
+          core::DsiIndex::Republish(*indexes.back(), gen_ops[g - 1])));
+    }
+    std::vector<air::DsiHandle> handles;
+    handles.reserve(indexes.size());
+    for (const auto& index : indexes) handles.emplace_back(*index);
+    sim::GenerationalIndex gi;
+    for (const auto& h : handles) gi.generations.push_back(&h);
+    gi.cycles.assign(4, 2);
+    const auto stat = sim::RunWorkload(handles.front(), win_workload,
+                                       bench::Par(opt.seed + 3));
+    const auto dynm = sim::GenerationalRun(gi, win_workload,
+                                           bench::Par(opt.seed + 3));
+    dyn.PrintRow("dsi", stat.latency_bytes / 1e3, dynm.latency_bytes / 1e3,
+                 stat.tuning_bytes / 1e3, dynm.tuning_bytes / 1e3,
+                 dynm.restarted);
+  }
+  {
+    std::vector<std::unique_ptr<rtree::RtreeIndex>> indexes;
+    for (int g = 0; g < 4; ++g) {
+      indexes.push_back(std::make_unique<rtree::RtreeIndex>(
+          gen_objects[static_cast<size_t>(g)], kCapacity));
+    }
+    std::vector<air::RtreeHandle> handles;
+    handles.reserve(indexes.size());
+    for (const auto& index : indexes) handles.emplace_back(*index);
+    sim::GenerationalIndex gi;
+    for (const auto& h : handles) gi.generations.push_back(&h);
+    gi.cycles.assign(4, 2);
+    const auto stat = sim::RunWorkload(handles.front(), win_workload,
+                                       bench::Par(opt.seed + 3));
+    const auto dynm = sim::GenerationalRun(gi, win_workload,
+                                           bench::Par(opt.seed + 3));
+    dyn.PrintRow("rtree", stat.latency_bytes / 1e3, dynm.latency_bytes / 1e3,
+                 stat.tuning_bytes / 1e3, dynm.tuning_bytes / 1e3,
+                 dynm.restarted);
+  }
+
+  std::cout << "\nExpected shape: incremental republication cost scales with "
+               "the update rate, a small fraction of the rebuild baseline at "
+               "realistic rates; dynamic-run metrics stay close to static "
+               "(only straddling queries pay a restart), with DSI's "
+               "distributed tables recovering faster than the tree's "
+               "replicated paths.\n";
+  return 0;
+}

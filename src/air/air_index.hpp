@@ -43,7 +43,13 @@ struct ClientStats {
   uint64_t index_reads = 0;   ///< Index buckets read (tables / tree nodes).
   uint64_t object_reads = 0;  ///< Data buckets read.
   uint64_t buckets_lost = 0;  ///< Reads corrupted by link errors.
-  bool completed = true;      ///< False if the watchdog aborted the query.
+  bool completed = true;      ///< False if the query was aborted.
+  /// True if the query aborted because the broadcast was republished
+  /// mid-flight (the session's generation advanced): every piece of learned
+  /// state referred to a dead layout. The result is partial and the caller
+  /// should re-issue the query against the new generation's handle on the
+  /// same session (sim::GenerationalRun does exactly that).
+  bool stale = false;
 };
 
 /// One query execution against a broadcast air index. Construct via

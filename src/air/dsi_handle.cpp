@@ -27,7 +27,7 @@ class DsiAirClient : public AirClient {
   ClientStats stats() const override {
     const core::QueryStats& s = client_.stats();
     return ClientStats{s.tables_read, s.objects_read, s.buckets_lost,
-                       s.completed};
+                       s.completed, s.stale};
   }
 
  private:

@@ -96,7 +96,7 @@ class ExpAirClient : public AirClient {
   ClientStats stats() const override {
     const expindex::ExpQueryStats& s = client_.stats();
     return ClientStats{s.tables_read, s.items_read, s.buckets_lost,
-                       s.completed};
+                       s.completed, s.stale};
   }
 
  private:

@@ -22,7 +22,7 @@ class HciAirClient : public AirClient {
   ClientStats stats() const override {
     const hci::HciQueryStats& s = client_.stats();
     return ClientStats{s.nodes_read, s.objects_read, s.buckets_lost,
-                       s.completed};
+                       s.completed, s.stale};
   }
 
  private:

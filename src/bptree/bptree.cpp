@@ -7,9 +7,15 @@ namespace dsi::bptree {
 
 BptTree::BptTree(std::vector<uint64_t> keys, uint32_t fanout)
     : keys_(std::move(keys)) {
-  assert(!keys_.empty());
   assert(fanout >= 2);
   assert(std::is_sorted(keys_.begin(), keys_.end()));
+  if (keys_.empty()) {
+    // Empty tree: no nodes, no program content. FindLeaf/key() must not be
+    // called; builders put nothing on air.
+    root_ = 0;
+    height_ = 0;
+    return;
+  }
 
   // Leaves: data ids packed fanout per node, key order (= data id order).
   const auto n = static_cast<uint32_t>(keys_.size());

@@ -34,7 +34,12 @@ AirTreeBroadcast::AirTreeBroadcast(AirTreeSpec spec, size_t packet_capacity,
                                    uint32_t target_subtrees,
                                    TreeLayout layout)
     : spec_(std::move(spec)), program_(packet_capacity), layout_(layout) {
-  assert(!spec_.nodes.empty());
+  // An empty tree (zero objects) yields an empty program — nothing on air;
+  // RunWorkload guards it and no ClientSession may be constructed over it.
+  if (spec_.nodes.empty()) {
+    program_.Finalize();
+    return;
+  }
   assert(spec_.root < spec_.nodes.size());
   target_subtrees = std::max<uint32_t>(target_subtrees, 1);
   node_slots_.resize(spec_.nodes.size());

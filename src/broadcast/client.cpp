@@ -19,52 +19,97 @@ uint64_t MixBits(uint64_t z) {
 ClientSession::ClientSession(const BroadcastProgram& program,
                              uint64_t tune_in_packet, ErrorModel errors,
                              common::Rng rng)
-    : program_(program),
+    : program_(&program),
       tune_in_(tune_in_packet),
       now_(tune_in_packet),
       errors_(errors),
       rng_(rng) {
-  assert(program_.finalized());
-  assert(program_.cycle_packets() > 0);
+  assert(program_->finalized());
+  assert(program_->cycle_packets() > 0);
+  ArmErrorModel();
+}
+
+ClientSession::ClientSession(const GenerationSchedule& schedule,
+                             uint64_t tune_in_packet, ErrorModel errors,
+                             common::Rng rng)
+    : schedule_(&schedule),
+      tune_in_(tune_in_packet),
+      now_(tune_in_packet),
+      errors_(errors),
+      rng_(rng) {
+  assert(schedule_->num_generations() > 0);
+  generation_ = schedule_->GenerationAt(tune_in_);
+  program_ = &schedule_->program(generation_);
+  gen_start_ = schedule_->start_packet(generation_);
+  gen_end_ = schedule_->end_packet(generation_);
+  ArmErrorModel();
+}
+
+void ClientSession::ArmErrorModel() {
+  // kSingleEvent: the error burst lands uniformly within the first cycle
+  // (of the tune-in generation) after tune-in. One shared implementation:
+  // both constructors must draw identically or the documented
+  // static-vs-single-generation byte identity breaks.
   if (errors_.mode == ErrorMode::kSingleEvent &&
       rng_.Bernoulli(errors_.theta)) {
     event_armed_ = true;
     event_packet_ =
         tune_in_ + static_cast<uint64_t>(rng_.UniformInt(
-                       0, static_cast<int64_t>(program_.cycle_packets()) - 1));
+                       0, static_cast<int64_t>(program_->cycle_packets()) - 1));
   }
   if (errors_.mode == ErrorMode::kPerBucketLoss) {
     channel_seed_ = rng_.engine()();
   }
 }
 
+void ClientSession::ParkAtNextBoundary() {
+  while (true) {
+    if (schedule_ != nullptr) {
+      generation_ = schedule_->GenerationAt(now_);
+      program_ = &schedule_->program(generation_);
+      gen_start_ = schedule_->start_packet(generation_);
+      gen_end_ = schedule_->end_packet(generation_);
+    }
+    const uint64_t cycle = program_->cycle_packets();
+    const uint64_t pos = (now_ - gen_start_) % cycle;
+    const size_t slot = program_->SlotStartingAtOrAfter(pos);
+    const uint64_t start = program_->bucket(slot).start_packet;
+    const uint64_t delta =
+        (slot == 0 && start < pos) ? (cycle - pos) + start : start - pos;
+    // A wrap to the next cycle can land exactly on a republication instant:
+    // the boundary then belongs to the incoming generation — re-sync and
+    // park on ITS first bucket (offset 0 of the new program, so the next
+    // iteration terminates with delta 0).
+    if (now_ + delta >= gen_end_) {
+      AdvanceTo(gen_end_);
+      continue;
+    }
+    AdvanceTo(now_ + delta);
+    current_slot_ = slot;
+    return;
+  }
+}
+
 void ClientSession::InitialProbe() {
-  assert(!probed_);
+  if (probed_) return;
   probed_ = true;
   // Listen to the packet currently on air to learn where the next bucket
   // starts (standard air-indexing assumption: every packet carries that
-  // offset in its header).
+  // offset — and, on dynamic broadcasts, the generation stamp — in its
+  // header).
   if (trace_ != nullptr) {
     trace_->push_back(TraceEvent{TraceEvent::Kind::kProbe, now_, now_ + 1,
                                  /*slot=*/0, /*lost=*/false});
   }
   Listen(1);
-  // Doze until the next bucket boundary.
-  const uint64_t cycle = program_.cycle_packets();
-  uint64_t pos = now_ % cycle;
-  size_t slot = program_.SlotStartingAtOrAfter(pos);
-  uint64_t start = program_.bucket(slot).start_packet;
-  uint64_t delta = (slot == 0 && start < pos) ? (cycle - pos) + start
-                                              : start - pos;
-  AdvanceTo(now_ + delta);
-  current_slot_ = slot;
+  ParkAtNextBoundary();
 }
 
 uint64_t ClientSession::PacketsUntil(size_t slot) const {
   assert(probed_);
-  const uint64_t cycle = program_.cycle_packets();
-  const uint64_t pos = now_ % cycle;
-  const uint64_t start = program_.bucket(slot).start_packet;
+  const uint64_t cycle = program_->cycle_packets();
+  const uint64_t pos = (now_ - gen_start_) % cycle;
+  const uint64_t start = program_->bucket(slot).start_packet;
   return start >= pos ? start - pos : cycle - pos + start;
 }
 
@@ -74,12 +119,29 @@ void ClientSession::DozeTo(size_t slot) {
 }
 
 bool ClientSession::ReadBucket(size_t slot) {
+  // Dynamic broadcast: the aimed-at occurrence may lie past the end of the
+  // synchronized generation, i.e. it will never air. The client cannot know
+  // in advance — it dozes to where it believed the bucket would start,
+  // hears one packet stamped with a newer generation, and re-synchronizes
+  // like the initial probe. No loss coin is drawn: nothing was on air to
+  // lose; generation() advancing is the caller's republication signal.
+  if (now_ + PacketsUntil(slot) >= gen_end_) {
+    AdvanceTo(now_ + PacketsUntil(slot));
+    const uint64_t listen_start = now_;
+    Listen(1);
+    if (trace_ != nullptr) {
+      trace_->push_back(TraceEvent{TraceEvent::Kind::kListen, listen_start,
+                                   now_, slot, /*lost=*/true});
+    }
+    ParkAtNextBoundary();
+    return false;
+  }
   DozeTo(slot);
-  const Bucket& b = program_.bucket(slot);
+  const Bucket& b = program_->bucket(slot);
   const uint64_t listen_start = now_;
   Listen(b.packets);
   // Park on the next bucket boundary.
-  current_slot_ = (slot + 1) % program_.num_buckets();
+  current_slot_ = (slot + 1) % program_->num_buckets();
   bool lost = false;
   switch (errors_.mode) {
     case ErrorMode::kPerReadLoss:
@@ -95,13 +157,18 @@ bool ClientSession::ReadBucket(size_t slot) {
       }
       break;
     case ErrorMode::kPerBucketLoss: {
-      // The coin belongs to the on-air instance: the cycle number of the
-      // listen start (the session is parked on the bucket boundary when the
-      // listen begins) paired with the slot, hashed against the channel
-      // seed. 2^-53 granularity matches the double mantissa.
-      const uint64_t cycle_index = listen_start / program_.cycle_packets();
-      const uint64_t h = MixBits(
-          channel_seed_ ^ MixBits(cycle_index * program_.num_buckets() + slot));
+      // The coin belongs to the on-air instance: the generation-relative
+      // cycle number of the listen start (the session is parked on the
+      // bucket boundary when the listen begins) paired with the slot,
+      // hashed against the channel seed. Generations past the first salt
+      // the key so a republished layout rolls fresh coins; generation 0
+      // reproduces the static formula exactly. 2^-53 granularity matches
+      // the double mantissa.
+      const uint64_t cycle_index =
+          (listen_start - gen_start_) / program_->cycle_packets();
+      uint64_t key = cycle_index * program_->num_buckets() + slot;
+      if (generation_ != 0) key ^= MixBits(generation_);
+      const uint64_t h = MixBits(channel_seed_ ^ MixBits(key));
       lost = static_cast<double>(h >> 11) * 0x1.0p-53 < errors_.theta;
       break;
     }
@@ -114,15 +181,15 @@ bool ClientSession::ReadBucket(size_t slot) {
 }
 
 void ClientSession::SkipBucket() {
-  const Bucket& b = program_.bucket(current_slot_);
+  const Bucket& b = program_->bucket(current_slot_);
   AdvanceTo(now_ + b.packets);
-  current_slot_ = (current_slot_ + 1) % program_.num_buckets();
+  current_slot_ = (current_slot_ + 1) % program_->num_buckets();
 }
 
 Metrics ClientSession::metrics() const {
   Metrics m;
-  m.access_latency_bytes = (now_ - tune_in_) * program_.packet_capacity();
-  m.tuning_bytes = listened_packets_ * program_.packet_capacity();
+  m.access_latency_bytes = (now_ - tune_in_) * program_->packet_capacity();
+  m.tuning_bytes = listened_packets_ * program_->packet_capacity();
   return m;
 }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "broadcast/generation.hpp"
 #include "broadcast/program.hpp"
 #include "common/rng.hpp"
 
@@ -72,6 +73,18 @@ struct TraceEvent {
 /// Time is a monotonically increasing global packet counter; the cycle
 /// position is time mod cycle length. The client is dozing except inside
 /// InitialProbe() and ReadBucket().
+///
+/// Dynamic broadcasts: a session constructed over a GenerationSchedule is
+/// synchronized to exactly one generation at a time — all slot numbers the
+/// client uses refer to that generation's program. When a read aims at a
+/// bucket occurrence past the generation's end, the occurrence no longer
+/// exists on air: the client dozes to where it believed the bucket would
+/// start, hears one packet whose header carries a newer generation stamp,
+/// and re-synchronizes exactly like the initial probe. That read returns
+/// false with generation() advanced — the signal that every piece of
+/// learned state (index tables, tree nodes, anchors) points into a dead
+/// layout and must be discarded. Slot numbers from the old generation are
+/// meaningless after that instant; issue none until re-derived.
 class ClientSession {
  public:
   /// \param tune_in_packet Global packet index at which the client wakes up
@@ -79,9 +92,17 @@ class ClientSession {
   ClientSession(const BroadcastProgram& program, uint64_t tune_in_packet,
                 ErrorModel errors, common::Rng rng);
 
+  /// Dynamic-broadcast session: tunes into the generation live at
+  /// \p tune_in_packet and follows the schedule's republications. The
+  /// schedule must outlive the session.
+  ClientSession(const GenerationSchedule& schedule, uint64_t tune_in_packet,
+                ErrorModel errors, common::Rng rng);
+
   /// Listens to one packet to synchronize with the channel (every packet
   /// carries an offset to the next bucket boundary), then positions the
-  /// client at the start of the next bucket. Must be called first.
+  /// client at the start of the next bucket. Idempotent: callers that get
+  /// a pre-probed session (the generational runner probes before picking
+  /// the generation's client) fall through at no cost.
   void InitialProbe();
 
   /// Global packet counter.
@@ -119,13 +140,32 @@ class ClientSession {
   /// is appended to \p sink (doze episodes of zero length are skipped).
   void set_trace(std::vector<TraceEvent>* sink) { trace_ = sink; }
 
-  const BroadcastProgram& program() const { return program_; }
+  /// The generation this session is synchronized to: the stamp of the last
+  /// packet header it parked on. Always 0 for single-program sessions.
+  /// Clients capture it after their probe and compare after every failed
+  /// read — an advance means the broadcast was republished mid-query.
+  uint64_t generation() const { return generation_; }
+
+  /// The program of the synchronized generation (the single program for
+  /// static sessions).
+  const BroadcastProgram& program() const { return *program_; }
 
  private:
   void AdvanceTo(uint64_t target_packet);  // doze, no tuning cost
   void Listen(uint64_t packets);           // active listening
+  /// Shared constructor tail: arms kSingleEvent/kPerBucketLoss state with
+  /// identical draws for static and generational sessions.
+  void ArmErrorModel();
+  /// Re-syncs to the generation live now, then dozes to the next bucket
+  /// boundary of its program (chasing across further switch instants if
+  /// the boundary lands exactly on one). Sets current_slot_.
+  void ParkAtNextBoundary();
 
-  const BroadcastProgram& program_;
+  const GenerationSchedule* schedule_ = nullptr;  // null for static sessions
+  const BroadcastProgram* program_;
+  uint64_t generation_ = 0;          // index into schedule_ (0 when static)
+  uint64_t gen_start_ = 0;           // absolute first packet of generation_
+  uint64_t gen_end_ = UINT64_MAX;    // absolute end (exclusive); MAX = forever
   uint64_t tune_in_;
   uint64_t now_;
   uint64_t listened_packets_ = 0;

@@ -1,0 +1,45 @@
+#include "broadcast/generation.hpp"
+
+#include <cassert>
+
+namespace dsi::broadcast {
+
+void GenerationSchedule::Append(const BroadcastProgram* program,
+                                uint64_t cycles) {
+  assert(program != nullptr && program->finalized());
+  assert(program->cycle_packets() > 0);
+  assert(cycles > 0);
+  Entry e;
+  e.program = program;
+  e.cycles = cycles;
+  if (!entries_.empty()) {
+    // One physical channel: packets are the unit of both time and metrics,
+    // so every generation must agree on the capacity.
+    assert(program->packet_capacity() ==
+           entries_.front().program->packet_capacity());
+    const Entry& prev = entries_.back();
+    e.start = prev.start + prev.cycles * prev.program->cycle_packets();
+  }
+  entries_.push_back(e);
+}
+
+uint64_t GenerationSchedule::end_packet(size_t g) const {
+  assert(g < entries_.size());
+  if (g + 1 == entries_.size()) return UINT64_MAX;
+  return entries_[g + 1].start;
+}
+
+size_t GenerationSchedule::GenerationAt(uint64_t packet) const {
+  assert(!entries_.empty());
+  size_t g = entries_.size() - 1;
+  while (g > 0 && entries_[g].start > packet) --g;
+  return g;
+}
+
+uint64_t GenerationSchedule::TuneInHorizon() const {
+  assert(!entries_.empty());
+  const Entry& last = entries_.back();
+  return last.start + last.cycles * last.program->cycle_packets();
+}
+
+}  // namespace dsi::broadcast

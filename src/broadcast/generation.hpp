@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file generation.hpp
+/// \brief Dynamic broadcast generations: the server-side schedule of
+/// republications.
+///
+/// A static broadcast repeats one program forever. A *dynamic* broadcast is
+/// a sequence of generations: generation g airs its own finalized program
+/// for a whole number of cycles, then the server republishes — generation
+/// g+1 takes over at the exact cycle boundary. The last generation airs
+/// forever (so in-flight queries always find a channel to finish on).
+///
+/// The stamp clients use to detect republication rides the packet header:
+/// every on-air packet already carries the offset to the next bucket
+/// boundary (the standard air-indexing synchronization assumption), and a
+/// dynamic broadcast adds the generation number to that header. The header
+/// is not separately billed — exactly like the boundary offset — so a
+/// single-generation broadcast is byte-for-byte the static broadcast.
+///
+/// Alignment invariant: every generation switch happens at a cycle boundary
+/// of the outgoing program, which is also a bucket boundary, so no bucket
+/// ever straddles a republication instant. ClientSession relies on this.
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/program.hpp"
+
+namespace dsi::broadcast {
+
+/// An ordered sequence of broadcast generations. Programs are referenced,
+/// not owned, and must outlive the schedule; all must share one packet
+/// capacity (one physical channel).
+class GenerationSchedule {
+ public:
+  /// Appends the next generation. It starts airing the moment the previous
+  /// one has aired its `cycles` full cycles; the LAST appended generation
+  /// airs forever (its `cycles` value only bounds TuneInHorizon()).
+  void Append(const BroadcastProgram* program, uint64_t cycles);
+
+  size_t num_generations() const { return entries_.size(); }
+  const BroadcastProgram& program(size_t g) const {
+    return *entries_[g].program;
+  }
+  /// Absolute packet at which generation g starts airing.
+  uint64_t start_packet(size_t g) const { return entries_[g].start; }
+  /// Absolute packet at which generation g stops airing (start of g + 1);
+  /// UINT64_MAX for the last generation.
+  uint64_t end_packet(size_t g) const;
+  /// Index of the generation live at the given absolute packet (the switch
+  /// instant itself belongs to the incoming generation).
+  size_t GenerationAt(uint64_t packet) const;
+  /// Span uniform tune-in draws should cover so every generation —
+  /// including the final one — is exercised: the last generation's start
+  /// plus its advertised airtime.
+  uint64_t TuneInHorizon() const;
+
+ private:
+  struct Entry {
+    const BroadcastProgram* program = nullptr;
+    uint64_t start = 0;
+    uint64_t cycles = 0;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dsi::broadcast

@@ -128,4 +128,79 @@ std::vector<SpatialObject> MakeRealLike(uint64_t seed) {
   return objs;
 }
 
+std::vector<UpdateOp> MakeUpdateStream(const std::vector<SpatialObject>& objects,
+                                       size_t count,
+                                       const common::Rect& universe,
+                                       uint64_t seed) {
+  common::Rng rng(seed);
+  // Track the live id set so deletes/moves always target a real object and
+  // inserts never collide.
+  std::vector<uint32_t> live;
+  live.reserve(objects.size() + count);
+  uint32_t next_id = 0;
+  for (const SpatialObject& o : objects) {
+    live.push_back(o.id);
+    next_id = std::max(next_id, o.id + 1);
+  }
+
+  std::vector<UpdateOp> ops;
+  ops.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const common::Point p{rng.Uniform(universe.min_x, universe.max_x),
+                          rng.Uniform(universe.min_y, universe.max_y)};
+    double draw = rng.Uniform(0.0, 1.0);
+    if (live.empty() || (draw < 0.30 && live.size() <= 1)) draw = 1.0;
+    UpdateOp op;
+    if (draw < 0.30) {  // delete
+      const auto j = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      op.kind = UpdateKind::kDelete;
+      op.id = live[j];
+      live[j] = live.back();
+      live.pop_back();
+    } else if (draw < 0.65 && !live.empty()) {  // move
+      const auto j = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      op.kind = UpdateKind::kMove;
+      op.id = live[j];
+      op.location = p;
+    } else {  // insert
+      op.kind = UpdateKind::kInsert;
+      op.id = next_id++;
+      op.location = p;
+      live.push_back(op.id);
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+std::vector<SpatialObject> ApplyUpdates(std::vector<SpatialObject> objects,
+                                        const std::vector<UpdateOp>& ops) {
+  for (const UpdateOp& op : ops) {
+    switch (op.kind) {
+      case UpdateKind::kInsert:
+        objects.push_back(SpatialObject{op.id, op.location});
+        break;
+      case UpdateKind::kDelete:
+        for (size_t i = 0; i < objects.size(); ++i) {
+          if (objects[i].id == op.id) {
+            objects.erase(objects.begin() + static_cast<ptrdiff_t>(i));
+            break;
+          }
+        }
+        break;
+      case UpdateKind::kMove:
+        for (SpatialObject& o : objects) {
+          if (o.id == op.id) {
+            o.location = op.location;
+            break;
+          }
+        }
+        break;
+    }
+  }
+  return objects;
+}
+
 }  // namespace dsi::datasets

@@ -53,4 +53,39 @@ std::vector<SpatialObject> MakeClustered(size_t n, size_t num_clusters,
 /// Deterministic for a given seed.
 std::vector<SpatialObject> MakeRealLike(uint64_t seed = 7);
 
+// ---------------------------------------------------------------------------
+// Dynamic data: update streams between broadcast generations
+// ---------------------------------------------------------------------------
+
+/// One edit to the broadcast object set, applied between broadcast cycles
+/// when the server republishes.
+enum class UpdateKind : uint8_t {
+  kInsert,  ///< A new object (fresh id) appears at `location`.
+  kDelete,  ///< The object with `id` disappears.
+  kMove,    ///< The object with `id` relocates to `location`.
+};
+
+struct UpdateOp {
+  UpdateKind kind = UpdateKind::kInsert;
+  uint32_t id = 0;          ///< Target id (delete/move) or the fresh id.
+  common::Point location;   ///< Destination (insert/move); unused for delete.
+};
+
+/// Seed-determined stream of \p count updates against \p objects, valid
+/// when applied in order: inserts draw uniform locations and fresh ids
+/// (max existing id + 1 onward), deletes and moves pick uniformly among the
+/// objects live at that point in the stream. The last live object is never
+/// deleted (a delete drawn against a singleton set becomes an insert), so
+/// the broadcast never goes dark mid-sequence.
+std::vector<UpdateOp> MakeUpdateStream(const std::vector<SpatialObject>& objects,
+                                       size_t count,
+                                       const common::Rect& universe,
+                                       uint64_t seed);
+
+/// Applies \p ops in order and returns the resulting object set (order of
+/// survivors preserved, inserts appended). Ops referencing unknown ids are
+/// ignored — a stream from MakeUpdateStream never produces any.
+std::vector<SpatialObject> ApplyUpdates(std::vector<SpatialObject> objects,
+                                        const std::vector<UpdateOp>& ops);
+
 }  // namespace dsi::datasets

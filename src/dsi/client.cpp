@@ -186,6 +186,7 @@ template <class RecomputeTargets>
 void DsiClient::RunSearch(const RecomputeTargets& recompute_targets,
                           const common::Point* spatial_goal) {
   session_->InitialProbe();
+  generation_ = session_->generation();
   deadline_packets_ = session_->now_packets() +
                       kWatchdogCycles * index_.program().cycle_packets();
   const uint64_t aggressive_deadline =
@@ -205,6 +206,10 @@ void DsiClient::RunSearch(const RecomputeTargets& recompute_targets,
 
     if (FrameMayIntersect(table_.position, pending)) {
       ReadFrameObjects(table_.position, table_.own_hc_min);
+      if (stats_.stale) {
+        stats_.completed = false;
+        return;
+      }
       recompute_targets(&targets_scratch_);
       covered_.SubtractInto(targets_scratch_, &pending);
       if (pending.empty()) return;
@@ -233,6 +238,10 @@ bool DsiClient::WatchdogExpired() const {
   return session_->now_packets() >= deadline_packets_;
 }
 
+bool DsiClient::SessionStale() const {
+  return session_->generation() != generation_;
+}
+
 // ---------------------------------------------------------------------------
 // On-air reads
 // ---------------------------------------------------------------------------
@@ -256,6 +265,12 @@ bool DsiClient::ReadNextTable() {
       Learn(table_);
       return true;
     }
+    if (SessionStale()) {
+      // Republished mid-query: the slot vocabulary just died with the old
+      // layout — no further reads under it.
+      stats_.stale = true;
+      return false;
+    }
     ++stats_.buckets_lost;
     // Link error: resume from the next frame's table (fully distributed
     // recovery, Section 5).
@@ -269,6 +284,10 @@ bool DsiClient::ReadTableAt(uint32_t position) {
     index_.TableAt(position, &table_);
     Learn(table_);
     return true;
+  }
+  if (SessionStale()) {
+    stats_.stale = true;
+    return false;
   }
   ++stats_.buckets_lost;
   return ReadNextTable();
@@ -285,6 +304,10 @@ void DsiClient::ReadFrameObjects(uint32_t position, uint64_t own_hc) {
         MarkRetrieved(rank);
         ++stats_.objects_read;
       } else {
+        if (SessionStale()) {
+          stats_.stale = true;
+          return;
+        }
         ++stats_.buckets_lost;
         all_present = false;
         continue;

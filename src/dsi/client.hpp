@@ -59,7 +59,12 @@ struct QueryStats {
   uint64_t objects_read = 0;
   uint64_t buckets_lost = 0;
   uint64_t hops = 0;
-  bool completed = true;  ///< False if the watchdog aborted the query.
+  bool completed = true;  ///< False if the query was aborted.
+  /// True if the broadcast was republished mid-query: every learned table,
+  /// SegmentKnowledge entry and coverage interval referred to the dead
+  /// layout, so the client aborted with partial results. Re-issue the query
+  /// with a fresh client bound to the new generation's index.
+  bool stale = false;
 };
 
 /// Flat (offset -> min-HC) knowledge for one broadcast segment. Offsets are
@@ -218,10 +223,15 @@ class DsiClient {
                  const common::Point* spatial_goal);
 
   bool WatchdogExpired() const;
+  /// The session advanced past the generation this client's knowledge was
+  /// learned from (dynamic broadcasts): checked after every failed read,
+  /// since every stored slot number and HC bracket is then meaningless.
+  bool SessionStale() const;
 
   const DsiIndex& index_;
   broadcast::ClientSession* session_;
   ReorgLayout layout_;
+  uint64_t generation_ = 0;  // broadcast generation the knowledge refers to
   uint64_t hc_cells_;  // total number of HC values (domain size)
 
   // Learned knowledge: per segment, sorted (offset, min-HC) entries.

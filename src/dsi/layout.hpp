@@ -27,13 +27,15 @@ struct ReorgLayout {
   uint32_t base = 0;   ///< num_frames / m.
   uint32_t extra = 0;  ///< num_frames % m (segments with one extra frame).
 
+  /// frames == 0 (an empty broadcast) degenerates to a single empty
+  /// segment, so clients of empty programs can still be constructed.
   ReorgLayout(uint32_t frames, uint32_t segments)
       : num_frames(frames),
-        m(segments == 0 ? 1 : (segments > frames ? frames : segments)),
+        m(segments == 0 || frames == 0
+              ? 1
+              : (segments > frames ? frames : segments)),
         base(frames / m),
-        extra(frames % m) {
-    assert(frames > 0);
-  }
+        extra(frames % m) {}
 
   /// Frames in segment s.
   uint32_t SegmentLength(uint32_t s) const {

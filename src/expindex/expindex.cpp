@@ -15,7 +15,8 @@ constexpr uint64_t kWatchdogCycles = 200;
 ExpIndex::ExpIndex(std::vector<uint64_t> keys, size_t packet_capacity,
                    const ExpConfig& config)
     : config_(config), keys_(std::move(keys)), program_(packet_capacity) {
-  assert(!keys_.empty());
+  // An empty key set builds an empty (zero-cycle) program; RunWorkload
+  // guards it — never construct a ClientSession over it.
   assert(config_.index_base >= 2);
   assert(config_.chunk_size >= 1);
   std::sort(keys_.begin(), keys_.end());
@@ -91,10 +92,15 @@ ExpIndex::ChunkItems ExpIndex::ItemsAt(uint32_t position) const {
 ExpClient::ExpClient(const ExpIndex& index, broadcast::ClientSession* session)
     : index_(index), session_(session) {
   session_->InitialProbe();
+  generation_ = session_->generation();
 }
 
 bool ExpClient::WatchdogExpired() const {
   return session_->now_packets() >= deadline_packets_;
+}
+
+bool ExpClient::SessionStale() const {
+  return session_->generation() != generation_;
 }
 
 std::optional<uint32_t> ExpClient::ReadNextTable() {
@@ -111,6 +117,10 @@ std::optional<uint32_t> ExpClient::ReadNextTable() {
     if (session_->ReadBucket(slot)) {
       ++stats_.tables_read;
       return program.bucket(slot).payload;
+    }
+    if (SessionStale()) {
+      stats_.stale = true;
+      return std::nullopt;
     }
     ++stats_.buckets_lost;
   }
@@ -142,6 +152,10 @@ std::optional<uint32_t> ExpClient::Forward(uint32_t from, uint64_t key) {
       ++stats_.tables_read;
       pos = next;
     } else {
+      if (SessionStale()) {
+        stats_.stale = true;
+        return std::nullopt;
+      }
       ++stats_.buckets_lost;
       const auto recovered = ReadNextTable();
       if (!recovered) return std::nullopt;
@@ -198,6 +212,11 @@ std::vector<uint32_t> ExpClient::RangeQuery(uint64_t lo, uint64_t hi) {
         const uint64_t key = index_.sorted_keys()[rank];
         if (key >= lo && key <= hi) out.push_back(rank);
       } else {
+        if (SessionStale()) {
+          stats_.stale = true;
+          stats_.completed = false;
+          return out;  // partial: the layout the scan walked is gone
+        }
         ++stats_.buckets_lost;
         missing.emplace_back(items.first_slot + i, rank);
       }
@@ -218,6 +237,11 @@ std::vector<uint32_t> ExpClient::RangeQuery(uint64_t lo, uint64_t hi) {
       ++stats_.tables_read;
       have_table = true;
     } else {
+      if (SessionStale()) {
+        stats_.stale = true;
+        stats_.completed = false;
+        return out;
+      }
       ++stats_.buckets_lost;
       have_table = false;
     }
@@ -226,7 +250,7 @@ std::vector<uint32_t> ExpClient::RangeQuery(uint64_t lo, uint64_t hi) {
   // Sweep the lost items in passing order until none remain; every lap of
   // the cycle retries all of them.
   while (!missing.empty()) {
-    if (WatchdogExpired()) {
+    if (WatchdogExpired() || stats_.stale) {
       stats_.completed = false;
       return out;
     }
@@ -246,6 +270,11 @@ std::vector<uint32_t> ExpClient::RangeQuery(uint64_t lo, uint64_t hi) {
       if (key >= lo && key <= hi) out.push_back(rank);
       missing.erase(missing.begin() + static_cast<ptrdiff_t>(best_i));
     } else {
+      if (SessionStale()) {
+        stats_.stale = true;
+        stats_.completed = false;
+        return out;
+      }
       ++stats_.buckets_lost;
     }
   }

@@ -85,6 +85,9 @@ struct ExpQueryStats {
   uint64_t items_read = 0;
   uint64_t buckets_lost = 0;
   bool completed = true;
+  /// Broadcast republished mid-scan (dynamic broadcasts): chunk positions
+  /// and tables referred to the dead layout; partial results returned.
+  bool stale = false;
 };
 
 /// Client-side search: exponential forwarding toward a key, then
@@ -110,9 +113,13 @@ class ExpClient {
   std::optional<uint32_t> Forward(uint32_t from, uint64_t key);
 
   bool WatchdogExpired() const;
+  /// Republished since this client synchronized? Checked after every failed
+  /// read: chunk positions/slots are meaningless across generations.
+  bool SessionStale() const;
 
   const ExpIndex& index_;
   broadcast::ClientSession* session_;
+  uint64_t generation_ = 0;  ///< Generation the chunk tables refer to.
   ExpQueryStats stats_;
   uint64_t deadline_packets_ = 0;
 };

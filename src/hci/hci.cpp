@@ -56,6 +56,7 @@ HciClient::HciClient(const HciIndex& index, broadcast::ClientSession* session)
       node_cache_(index.tree().num_nodes(), false),
       retrieved_(index.sorted_objects().size(), 0) {
   session_->InitialProbe();
+  generation_ = session_->generation();
   deadline_packets_ = session_->now_packets() +
                       kWatchdogCycles * index_.program().cycle_packets();
 }
@@ -69,6 +70,7 @@ bool HciClient::ReadNode(uint32_t node_id) {
   // Drain pending data buckets that pass by before the node: listening to
   // them now is free latency-wise, and skipping them would cost a cycle.
   FlushPassingData(node_id);
+  if (stats_.stale) return false;  // republished while draining
   while (!WatchdogExpired()) {
     const size_t slot = index_.air().NextNodeSlot(node_id, *session_);
     if (session_->ReadBucket(slot)) {
@@ -92,6 +94,13 @@ bool HciClient::ReadNode(uint32_t node_id) {
       }
       return true;
     }
+    if (session_->generation() != generation_) {
+      // Republished mid-query: node ids and slots belong to the dead
+      // layout; the caller aborts with whatever data was retrieved.
+      stats_.stale = true;
+      stats_.completed = false;
+      return false;
+    }
     ++stats_.buckets_lost;
     // A lost tree node can only be recovered from a later occurrence
     // (next path replica or next cycle) — the tree-index weakness in
@@ -108,6 +117,11 @@ bool HciClient::TryReadData(uint32_t data_id) {
     retrieved_[data_id] = 1;
     return true;
   }
+  if (session_->generation() != generation_) {
+    stats_.stale = true;
+    stats_.completed = false;
+    return false;
+  }
   ++stats_.buckets_lost;
   return false;
 }
@@ -117,7 +131,7 @@ void HciClient::FlushPassingData(uint32_t before_node) {
   // as it arrives before the node we are headed to. A lost bucket stays
   // pending; its next occurrence is a cycle away, so the sweep moves on
   // instead of blocking on the loss.
-  while (!pending_data_.empty() && !WatchdogExpired()) {
+  while (!pending_data_.empty() && !WatchdogExpired() && !stats_.stale) {
     const size_t node_slot = index_.air().NextNodeSlot(before_node, *session_);
     const uint64_t node_wait = session_->PacketsUntil(node_slot);
     uint64_t best_wait = UINT64_MAX;
@@ -142,7 +156,7 @@ void HciClient::RetrieveRanges(const std::vector<hilbert::HcRange>& targets) {
   const auto& tree = index_.tree();
   const uint64_t half_cycle = index_.program().cycle_packets() / 2;
   for (const hilbert::HcRange& range : targets) {
-    if (WatchdogExpired()) {
+    if (WatchdogExpired() || stats_.stale) {
       stats_.completed = false;
       return;
     }
@@ -220,7 +234,7 @@ void HciClient::RetrieveRanges(const std::vector<hilbert::HcRange>& targets) {
   // pending and are retried when they come around again (sweeping, never
   // blocking a cycle per loss).
   while (!pending_data_.empty()) {
-    if (WatchdogExpired()) {
+    if (WatchdogExpired() || stats_.stale) {
       stats_.completed = false;
       return;
     }
@@ -263,17 +277,24 @@ std::vector<datasets::SpatialObject> HciClient::KnnQuery(
 
   // Phase 1: collect curve-neighbour candidate keys around h by descending
   // to h's leaf and scanning forward until k keys >= h are seen (keys < h
-  // in the visited leaves count as candidates too).
+  // in the visited leaves count as candidates too). An abort mid-phase
+  // (watchdog or republication) falls through to the common result
+  // collection: whatever was already retrieved is returned as a partial,
+  // never discarded (completed = false flags it).
+  bool aborted = false;
   std::vector<uint64_t> candidate_keys;
   uint32_t node = tree.root();
-  if (!ReadNode(node)) return {};
-  while (!tree.is_leaf(node)) {
+  if (!ReadNode(node)) aborted = true;
+  while (!aborted && !tree.is_leaf(node)) {
     const uint32_t child = tree.entries(node)[tree.DescendIndex(node, h)].child;
-    if (!ReadNode(child)) return {};
+    if (!ReadNode(child)) {
+      aborted = true;
+      break;
+    }
     node = child;
   }
   size_t ge_count = 0;
-  while (true) {
+  while (!aborted) {
     for (const bptree::BptEntry& e : tree.entries(node)) {
       candidate_keys.push_back(e.key);
       if (e.key >= h) ++ge_count;
@@ -281,38 +302,45 @@ std::vector<datasets::SpatialObject> HciClient::KnnQuery(
     if (ge_count >= k) break;
     const uint32_t next = tree.NextLeaf(node);
     if (next == UINT32_MAX) break;
-    if (!ReadNode(next)) return {};
+    if (!ReadNode(next)) {
+      aborted = true;
+      break;
+    }
     node = next;
   }
 
-  // Search-circle radius, per the published HCI kNN algorithm [18]: take
-  // the k candidates closest to h along the curve and use the largest
-  // Euclidean distance among them (cell upper bounds keep it sound). The
-  // curve-proximity heuristic makes the circle loose — spatially near is
-  // not always curve-near — which is exactly the inefficiency the paper's
-  // Figures 11/12 expose. Falls back to the universe diagonal if the curve
-  // ran out of candidates.
-  double radius;
-  if (candidate_keys.size() < k) {
-    // Fewer objects than k on the whole curve: the circle must cover every
-    // object. The universe diagonal is NOT enough when q lies outside the
-    // universe — use the exact farthest-corner distance from q.
-    radius = std::sqrt(mapper.universe().MaxSquaredDistance(q));
-  } else {
-    std::sort(candidate_keys.begin(), candidate_keys.end(),
-              [h](uint64_t a, uint64_t b) {
-                const uint64_t da = a > h ? a - h : h - a;
-                const uint64_t db = b > h ? b - h : h - b;
-                return da != db ? da < db : a < b;
-              });
-    radius = 0.0;
-    for (size_t i = 0; i < k; ++i) {
-      radius = std::max(radius, mapper.MaxDistanceToIndex(q, candidate_keys[i]));
+  if (!aborted) {
+    // Search-circle radius, per the published HCI kNN algorithm [18]: take
+    // the k candidates closest to h along the curve and use the largest
+    // Euclidean distance among them (cell upper bounds keep it sound). The
+    // curve-proximity heuristic makes the circle loose — spatially near is
+    // not always curve-near — which is exactly the inefficiency the paper's
+    // Figures 11/12 expose. Falls back to the universe diagonal if the
+    // curve ran out of candidates.
+    double radius;
+    if (candidate_keys.size() < k) {
+      // Fewer objects than k on the whole curve: the circle must cover
+      // every object. The universe diagonal is NOT enough when q lies
+      // outside the universe — use the exact farthest-corner distance.
+      radius = std::sqrt(mapper.universe().MaxSquaredDistance(q));
+    } else {
+      std::sort(candidate_keys.begin(), candidate_keys.end(),
+                [h](uint64_t a, uint64_t b) {
+                  const uint64_t da = a > h ? a - h : h - a;
+                  const uint64_t db = b > h ? b - h : h - b;
+                  return da != db ? da < db : a < b;
+                });
+      radius = 0.0;
+      for (size_t i = 0; i < k; ++i) {
+        radius =
+            std::max(radius, mapper.MaxDistanceToIndex(q, candidate_keys[i]));
+      }
     }
-  }
 
-  // Phase 2: retrieve everything inside the circle and keep the k nearest.
-  RetrieveRanges(mapper.CircleToRanges(q, radius));
+    // Phase 2: retrieve everything inside the circle and keep the k
+    // nearest.
+    RetrieveRanges(mapper.CircleToRanges(q, radius));
+  }
 
   std::vector<datasets::SpatialObject> out;
   const auto& objects = index_.sorted_objects();

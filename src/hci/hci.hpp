@@ -31,6 +31,9 @@ struct HciQueryStats {
   uint64_t objects_read = 0;
   uint64_t buckets_lost = 0;
   bool completed = true;
+  /// Broadcast republished mid-query (dynamic broadcasts): the node cache
+  /// and leaf anchors referred to the dead layout; partial results returned.
+  bool stale = false;
 };
 
 /// Server-side HCI broadcast: HC-sorted objects + B+-tree + air layout.
@@ -92,6 +95,7 @@ class HciClient {
 
   const HciIndex& index_;
   broadcast::ClientSession* session_;
+  uint64_t generation_ = 0;  ///< Generation the caches/anchors refer to.
   /// Index nodes already downloaded this query: a client keeps them in
   /// memory, so revisiting one is free (re-reading it off the air would
   /// cost a whole extra cycle).

@@ -29,6 +29,7 @@ RtreeClient::RtreeClient(const RtreeIndex& index,
       node_cache_(index.tree().num_nodes(), false),
       retrieved_(index.str_objects().size(), 0) {
   session_->InitialProbe();
+  generation_ = session_->generation();
   deadline_packets_ = session_->now_packets() +
                       kWatchdogCycles * index_.program().cycle_packets();
 }
@@ -41,11 +42,17 @@ bool RtreeClient::TryReadNode(uint32_t node_id) {
   if (node_cache_[node_id]) return true;  // already downloaded this query
   // Drain pending data buckets that pass by on the way to the node.
   FlushPassingData(node_id);
+  if (stats_.stale) return false;  // republished while draining
   const size_t slot = index_.air().NextNodeSlot(node_id, *session_);
   if (session_->ReadBucket(slot)) {
     ++stats_.nodes_read;
     node_cache_[node_id] = true;
     return true;
+  }
+  if (session_->generation() != generation_) {
+    stats_.stale = true;
+    stats_.completed = false;
+    return false;
   }
   // Lost: the node stays in the caller's frontier and competes again at
   // its next occurrence. Blocking here would let every other frontier
@@ -62,6 +69,11 @@ bool RtreeClient::TryReadData(uint32_t data_id) {
     retrieved_[data_id] = 1;
     return true;
   }
+  if (session_->generation() != generation_) {
+    stats_.stale = true;
+    stats_.completed = false;
+    return false;
+  }
   ++stats_.buckets_lost;
   return false;
 }
@@ -72,7 +84,7 @@ void RtreeClient::FlushPassingData(uint32_t before_node) {
   // since reading advances time). A lost bucket stays pending: its next
   // occurrence is a cycle away, so the sweep moves on to whatever passes
   // next instead of blocking on the loss.
-  while (!pending_data_.empty() && !WatchdogExpired()) {
+  while (!pending_data_.empty() && !WatchdogExpired() && !stats_.stale) {
     const uint64_t node_wait = session_->PacketsUntil(
         index_.air().NextNodeSlot(before_node, *session_));
     uint64_t best_wait = UINT64_MAX;
@@ -98,7 +110,7 @@ void RtreeClient::DrainPendingData() {
   // they come around again, alongside everything else still pending.
   // (Blocking a full cycle per lost bucket would cost O(pending) extra
   // cycles under heavy loss and spuriously trip the watchdog.)
-  while (!pending_data_.empty() && !WatchdogExpired()) {
+  while (!pending_data_.empty() && !WatchdogExpired() && !stats_.stale) {
     uint64_t best_wait = UINT64_MAX;
     size_t best_i = 0;
     for (size_t i = 0; i < pending_data_.size(); ++i) {
@@ -137,7 +149,7 @@ std::vector<datasets::SpatialObject> RtreeClient::WindowQuery(
   const Rtree& tree = index_.tree();
   std::vector<uint32_t> frontier{tree.root()};
   while (!frontier.empty()) {
-    if (WatchdogExpired()) {
+    if (WatchdogExpired() || stats_.stale) {
       stats_.completed = false;
       break;  // report what was retrieved; completed=false flags the abort
     }
@@ -194,7 +206,7 @@ std::vector<datasets::SpatialObject> RtreeClient::KnnQuery(
 
   std::vector<uint32_t> frontier{tree.root()};
   while (!frontier.empty()) {
-    if (WatchdogExpired()) {
+    if (WatchdogExpired() || stats_.stale) {
       stats_.completed = false;
       break;  // fetch what is already known; completed=false flags it
     }

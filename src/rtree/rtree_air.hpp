@@ -23,6 +23,9 @@ struct RtreeQueryStats {
   uint64_t objects_read = 0;
   uint64_t buckets_lost = 0;
   bool completed = true;
+  /// Broadcast republished mid-query (dynamic broadcasts): node cache and
+  /// pending slots referred to the dead layout; partial results returned.
+  bool stale = false;
 };
 
 /// Server-side R-tree broadcast.
@@ -83,6 +86,7 @@ class RtreeClient {
 
   const RtreeIndex& index_;
   broadcast::ClientSession* session_;
+  uint64_t generation_ = 0;  ///< Generation the node cache refers to.
   /// Index nodes already downloaded this query (kept in client memory).
   std::vector<bool> node_cache_;
   std::vector<uint32_t> pending_data_;

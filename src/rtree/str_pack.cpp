@@ -54,8 +54,14 @@ std::vector<std::vector<uint32_t>> StrTile(
 
 Rtree::Rtree(std::vector<datasets::SpatialObject> objects, uint32_t fanout)
     : objects_(std::move(objects)) {
-  assert(!objects_.empty());
   assert(fanout >= 2);
+  if (objects_.empty()) {
+    // Empty tree: no nodes, nothing to broadcast. root()/node_mbr() must
+    // not be called; builders emit an empty program.
+    root_ = 0;
+    height_ = 0;
+    return;
+  }
 
   // Leaf level: STR-tile the points, re-order objects into leaf order.
   std::vector<common::Point> pts;

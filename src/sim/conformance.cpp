@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iomanip>
 #include <limits>
+#include <memory>
 #include <sstream>
 
 #include "air/dsi_handle.hpp"
@@ -38,6 +39,29 @@ struct CaseQueries {
   std::vector<common::Point> big_points;  // k >= n workload
   size_t big_k = 0;
 };
+
+/// Duplicate-heavy dataset: coincident points share exact coordinates, so
+/// their Hilbert keys are identical — equal-key runs span frames/chunks and
+/// kNN answers carry tied distance multisets.
+std::vector<datasets::SpatialObject> MakeDuplicateHeavy(
+    size_t n, const common::Rect& u, uint64_t seed) {
+  common::Rng rng(seed);
+  const size_t sites = std::max<size_t>(1, n / 5);
+  std::vector<common::Point> locs;
+  locs.reserve(sites);
+  for (size_t s = 0; s < sites; ++s) {
+    locs.push_back(common::Point{rng.Uniform(u.min_x, u.max_x),
+                                 rng.Uniform(u.min_y, u.max_y)});
+  }
+  std::vector<datasets::SpatialObject> objs;
+  objs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto s = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(sites) - 1));
+    objs.push_back(datasets::SpatialObject{static_cast<uint32_t>(i), locs[s]});
+  }
+  return objs;
+}
 
 CaseQueries MakeQueries(const ConformanceCase& c,
                         const std::vector<datasets::SpatialObject>& objects) {
@@ -132,12 +156,16 @@ std::string DescribeDistDiff(const std::vector<double>& oracle,
   return os.str();
 }
 
-/// Runs one workload against one family handle, comparing each completed
-/// query to its oracle.
-void CheckWorkload(const air::AirIndexHandle& handle, const Workload& wl,
-                   const ConformanceCase& c, const std::string& family,
+/// Runs one workload against one family (all generations), comparing each
+/// completed query to the oracle of the generation it answered for, and
+/// auditing the aggregate incomplete accounting against the per-query
+/// completed flags.
+void CheckWorkload(const std::vector<const air::AirIndexHandle*>& gens,
+                   const Workload& wl, const ConformanceCase& c,
+                   const std::string& family,
                    const std::string& workload_name,
-                   const std::vector<datasets::SpatialObject>& objects,
+                   const std::vector<std::vector<datasets::SpatialObject>>&
+                       gen_objects,
                    ConformanceReport* report) {
   std::vector<QueryResult> results;
   RunOptions opt;
@@ -145,11 +173,22 @@ void CheckWorkload(const air::AirIndexHandle& handle, const Workload& wl,
   opt.workers = c.workers;
   opt.heap_clients = c.heap_clients;
   opt.results = &results;
-  (void)RunWorkload(handle, wl, opt);
+  AvgMetrics metrics;
+  if (gens.size() == 1) {
+    metrics = RunWorkload(*gens[0], wl, opt);
+  } else {
+    GenerationalIndex gi;
+    gi.generations = gens;
+    gi.cycles.assign(gens.size(), std::max<uint64_t>(1, c.gen_cycles));
+    metrics = GenerationalRun(gi, wl, opt);
+  }
+  report->restarted += metrics.restarted;
 
+  size_t counted_incomplete = 0;
   for (size_t i = 0; i < results.size(); ++i) {
     const QueryResult& r = results[i];
     if (!r.completed) {
+      ++counted_incomplete;
       ++report->incomplete;
       std::ostringstream os;
       os << "aborted with " << r.ids.size() << " result ids";
@@ -158,6 +197,17 @@ void CheckWorkload(const air::AirIndexHandle& handle, const Workload& wl,
       continue;
     }
     ++report->queries_checked;
+    // The oracle object set is the one live at the query's last
+    // (re)tune-in: its recorded generation.
+    if (r.generation >= gen_objects.size()) {
+      report->divergences.push_back(
+          Divergence{family, workload_name, i,
+                     "result stamped with out-of-schedule generation " +
+                         std::to_string(r.generation)});
+      continue;
+    }
+    const std::vector<datasets::SpatialObject>& objects =
+        gen_objects[r.generation];
     if (wl.kind == QueryKind::kWindow) {
       std::vector<uint32_t> oracle;
       for (const auto& o : objects) {
@@ -183,28 +233,44 @@ void CheckWorkload(const air::AirIndexHandle& handle, const Workload& wl,
       }
     }
   }
+  // Exact incomplete accounting: the engine's aggregate must agree with the
+  // per-query flags at EVERY theta, total loss included — silent
+  // undercounting is how aborted queries masquerade as answered.
+  if (metrics.incomplete != counted_incomplete ||
+      metrics.queries != results.size()) {
+    std::ostringstream os;
+    os << "aggregate accounting mismatch: AvgMetrics{queries="
+       << metrics.queries << ", incomplete=" << metrics.incomplete
+       << "} vs results{n=" << results.size()
+       << ", incomplete=" << counted_incomplete << "}";
+    // Sentinel index one past the workload: this is a whole-run accounting
+    // failure, not a defect of any individual query's result set.
+    report->divergences.push_back(
+        Divergence{family, workload_name, results.size(), os.str()});
+  }
 }
 
-void RunFamily(const air::AirIndexHandle& handle, const ConformanceCase& c,
-               const std::string& family, const CaseQueries& q,
-               const std::vector<datasets::SpatialObject>& objects,
+void RunFamily(const std::vector<const air::AirIndexHandle*>& gens,
+               const ConformanceCase& c, const std::string& family,
+               const CaseQueries& q,
+               const std::vector<std::vector<datasets::SpatialObject>>&
+                   gen_objects,
                ConformanceReport* report) {
-  CheckWorkload(handle,
-                Workload::Window(q.windows, c.theta, c.error_mode), c,
-                family, "window", objects, report);
-  CheckWorkload(handle,
+  CheckWorkload(gens, Workload::Window(q.windows, c.theta, c.error_mode), c,
+                family, "window", gen_objects, report);
+  CheckWorkload(gens,
                 Workload::Knn(q.points, c.k, air::KnnStrategy::kConservative,
                               c.theta, c.error_mode),
-                c, family, "knn", objects, report);
-  CheckWorkload(handle,
+                c, family, "knn", gen_objects, report);
+  CheckWorkload(gens,
                 Workload::Knn(q.points, c.k, air::KnnStrategy::kAggressive,
                               c.theta, c.error_mode),
-                c, family, "knn-aggressive", objects, report);
-  CheckWorkload(handle,
+                c, family, "knn-aggressive", gen_objects, report);
+  CheckWorkload(gens,
                 Workload::Knn(q.big_points, q.big_k,
                               air::KnnStrategy::kConservative, c.theta,
                               c.error_mode),
-                c, family, "knn-big", objects, report);
+                c, family, "knn-big", gen_objects, report);
 }
 
 bool WantFamily(const std::vector<std::string>& families,
@@ -228,18 +294,43 @@ ConformanceCase MakeConformanceCase(uint64_t seed) {
   const size_t capacities[] = {64, 128, 256, 512};
   c.capacity = capacities[static_cast<size_t>(rng.UniformInt(0, 3))];
   c.clustered = rng.Bernoulli(0.35);
+  c.duplicates = rng.Bernoulli(0.2);  // coincident-point case family
 
   // Structured coverage: consecutive seeds sweep m, error mode, allocation
-  // mode and worker count deterministically; the rest is random.
+  // mode, worker count, dynamic generations and the extreme-loss band
+  // deterministically; the rest is random.
   c.m = static_cast<uint32_t>(1 + seed % 3);
   switch ((seed / 3) % 3) {
     case 0: c.error_mode = broadcast::ErrorMode::kPerReadLoss; break;
     case 1: c.error_mode = broadcast::ErrorMode::kSingleEvent; break;
     case 2: c.error_mode = broadcast::ErrorMode::kPerBucketLoss; break;
   }
-  c.theta = seed % 2 == 0 ? 0.0 : rng.Uniform(0.05, 0.7);
+  // Theta: half the seeds are clean; lossy seeds mostly stay in the
+  // must-complete band (<= 0.7), with a deterministic extreme-loss band in
+  // (0.7, 1.0] where only completed-query correctness and exact incomplete
+  // accounting are asserted (watchdog aborts are legitimate there).
+  const bool extreme = seed % 2 == 1 && (seed / 16) % 8 == 3;
+  if (seed % 2 == 0) {
+    c.theta = 0.0;
+  } else if (extreme) {
+    c.theta = rng.Bernoulli(0.2) ? 1.0 : rng.Uniform(0.7, 1.0);
+    // Aborted queries burn their full watchdog budget; cap the dataset so
+    // extreme cases stay affordable.
+    c.n = std::min<size_t>(c.n, 100);
+  } else {
+    c.theta = rng.Uniform(0.05, 0.7);
+  }
   c.workers = 1 + (seed / 2) % 2;
   c.heap_clients = (seed / 4) % 2 == 1;
+
+  // Dynamic broadcasts: every fourth block of five seeds runs 3-4
+  // generations with a non-trivial update stream between them.
+  if ((seed / 5) % 4 == 1) {
+    c.generations = 3 + static_cast<uint32_t>(seed % 2);
+    c.updates_per_gen = static_cast<uint32_t>(rng.UniformInt(
+        1, std::max<int64_t>(2, static_cast<int64_t>(c.n / 8))));
+    c.gen_cycles = 1 + static_cast<uint32_t>((seed / 7) % 3);
+  }
 
   const double of_draw = rng.Uniform(0.0, 1.0);
   c.object_factor =
@@ -255,36 +346,90 @@ ConformanceCase MakeConformanceCase(uint64_t seed) {
 ConformanceReport RunConformanceCase(const ConformanceCase& c,
                                      const std::vector<std::string>& families) {
   const common::Rect u = datasets::UnitUniverse();
-  const auto objects =
-      c.clustered
-          ? datasets::MakeClustered(
-                c.n, 2 + c.seed % 9, 0.01 + 0.004 * static_cast<double>(c.seed % 10),
-                0.2, u, c.seed * 3 + 1)
-          : datasets::MakeUniform(c.n, u, c.seed * 3 + 1);
+  auto base =
+      c.duplicates
+          ? MakeDuplicateHeavy(c.n, u, c.seed * 3 + 1)
+          : (c.clustered
+                 ? datasets::MakeClustered(
+                       c.n, 2 + c.seed % 9,
+                       0.01 + 0.004 * static_cast<double>(c.seed % 10), 0.2, u,
+                       c.seed * 3 + 1)
+                 : datasets::MakeUniform(c.n, u, c.seed * 3 + 1));
   const hilbert::SpaceMapper mapper(u, c.order);
-  const CaseQueries q = MakeQueries(c, objects);
+  const CaseQueries q = MakeQueries(c, base);
+
+  // The per-generation object sets and the update streams between them;
+  // generation 0 is the base dataset.
+  const uint32_t num_gens = std::max<uint32_t>(1, c.generations);
+  std::vector<std::vector<datasets::SpatialObject>> gen_objects;
+  gen_objects.push_back(std::move(base));
+  std::vector<std::vector<datasets::UpdateOp>> gen_ops;
+  for (uint32_t g = 1; g < num_gens; ++g) {
+    gen_ops.push_back(datasets::MakeUpdateStream(
+        gen_objects.back(), c.updates_per_gen, u, c.seed * 0x51ED + g));
+    gen_objects.push_back(
+        datasets::ApplyUpdates(gen_objects.back(), gen_ops.back()));
+  }
 
   ConformanceReport report;
   if (WantFamily(families, "dsi")) {
     core::DsiConfig cfg;
     cfg.num_segments = c.m;
     cfg.object_factor = c.object_factor;
-    const core::DsiIndex index(objects, mapper, c.capacity, cfg);
-    RunFamily(air::DsiHandle(index), c, "dsi", q, objects, &report);
+    // Generation 0 is a full build; every republication goes through the
+    // incremental path, so the fuzzer oracle-checks it for free.
+    std::vector<std::unique_ptr<core::DsiIndex>> indexes;
+    indexes.push_back(std::make_unique<core::DsiIndex>(gen_objects[0], mapper,
+                                                       c.capacity, cfg));
+    for (uint32_t g = 1; g < num_gens; ++g) {
+      indexes.push_back(std::make_unique<core::DsiIndex>(
+          core::DsiIndex::Republish(*indexes.back(), gen_ops[g - 1])));
+    }
+    std::vector<air::DsiHandle> handles;
+    handles.reserve(indexes.size());
+    for (const auto& index : indexes) handles.emplace_back(*index);
+    std::vector<const air::AirIndexHandle*> gens;
+    for (const auto& h : handles) gens.push_back(&h);
+    RunFamily(gens, c, "dsi", q, gen_objects, &report);
   }
   if (WantFamily(families, "rtree")) {
-    const rtree::RtreeIndex index(objects, c.capacity);
-    RunFamily(air::RtreeHandle(index), c, "rtree", q, objects, &report);
+    std::vector<std::unique_ptr<rtree::RtreeIndex>> indexes;
+    for (uint32_t g = 0; g < num_gens; ++g) {
+      indexes.push_back(
+          std::make_unique<rtree::RtreeIndex>(gen_objects[g], c.capacity));
+    }
+    std::vector<air::RtreeHandle> handles;
+    handles.reserve(indexes.size());
+    for (const auto& index : indexes) handles.emplace_back(*index);
+    std::vector<const air::AirIndexHandle*> gens;
+    for (const auto& h : handles) gens.push_back(&h);
+    RunFamily(gens, c, "rtree", q, gen_objects, &report);
   }
   if (WantFamily(families, "hci")) {
-    const hci::HciIndex index(objects, mapper, c.capacity);
-    RunFamily(air::HciHandle(index), c, "hci", q, objects, &report);
+    std::vector<std::unique_ptr<hci::HciIndex>> indexes;
+    for (uint32_t g = 0; g < num_gens; ++g) {
+      indexes.push_back(std::make_unique<hci::HciIndex>(gen_objects[g], mapper,
+                                                        c.capacity));
+    }
+    std::vector<air::HciHandle> handles;
+    handles.reserve(indexes.size());
+    for (const auto& index : indexes) handles.emplace_back(*index);
+    std::vector<const air::AirIndexHandle*> gens;
+    for (const auto& h : handles) gens.push_back(&h);
+    RunFamily(gens, c, "hci", q, gen_objects, &report);
   }
   if (WantFamily(families, "expindex")) {
     expindex::ExpConfig cfg;
     cfg.chunk_size = c.chunk_size;
-    const air::ExpHandle handle(objects, mapper, c.capacity, cfg);
-    RunFamily(handle, c, "expindex", q, objects, &report);
+    std::vector<std::unique_ptr<air::ExpHandle>> handles;
+    for (uint32_t g = 0; g < num_gens; ++g) {
+      handles.push_back(std::make_unique<air::ExpHandle>(gen_objects[g],
+                                                         mapper, c.capacity,
+                                                         cfg));
+    }
+    std::vector<const air::AirIndexHandle*> gens;
+    for (const auto& h : handles) gens.push_back(h.get());
+    RunFamily(gens, c, "expindex", q, gen_objects, &report);
   }
   return report;
 }
@@ -303,7 +448,10 @@ std::string FormatReproducer(const ConformanceCase& c,
      << " --error-mode=" << ModeName(c.error_mode)
      << " --workers=" << c.workers << " --heap=" << (c.heap_clients ? 1 : 0)
      << " --windows=" << c.window_queries << " --knn-points=" << c.knn_points
-     << " --k=" << c.k;
+     << " --k=" << c.k << " --duplicates=" << (c.duplicates ? 1 : 0)
+     << " --generations=" << c.generations
+     << " --updates=" << c.updates_per_gen
+     << " --gen-cycles=" << c.gen_cycles;
   if (!family.empty()) os << " --families=" << family;
   return os.str();
 }

@@ -13,14 +13,21 @@
 ///
 ///  * a ConformanceCase is a fully seed-determined instance: dataset, curve
 ///    order, packet capacity, DSI segment count m, object factor, channel
-///    error model, worker count, client allocation mode;
+///    error model, worker count, client allocation mode — and, for dynamic
+///    broadcasts, the generation count, the update stream applied between
+///    generations and each generation's airtime;
 ///  * the query mix deliberately includes the degenerate shapes directed
 ///    tests forget: zero-area (point) windows, windows clipped by or fully
 ///    outside the universe, kNN with k >= dataset size, query points
 ///    outside the universe;
 ///  * every completed query must match the oracle exactly (window: id sets;
-///    kNN: distance multisets — ties may swap ids). Watchdog-aborted
-///    queries are reported separately, never silently compared.
+///    kNN: distance multisets — ties may swap ids) — against the object set
+///    of the generation the query answered for (QueryResult::generation,
+///    the one live at its last (re)tune-in). Watchdog-aborted queries are
+///    reported separately, never silently compared;
+///  * aggregate accounting is itself checked: AvgMetrics::incomplete must
+///    equal the count of completed = false results exactly, at every theta
+///    up to and including total loss.
 ///
 /// The same entry points back tools/conformance_fuzz (sweep + shrink +
 /// one-line reproducers) and tests/conformance_test.cpp (CI seed sweep).
@@ -45,10 +52,23 @@ struct ConformanceCase {
   uint32_t m = 1;             ///< DSI broadcast segments (1 = original).
   uint32_t object_factor = 1; ///< DSI objects per frame (0 = packet-driven).
   uint32_t chunk_size = 1;    ///< Exponential-index items per chunk.
-  double theta = 0.0;         ///< Link-error rate.
+  double theta = 0.0;         ///< Link-error rate (up to 1.0 = total loss).
   broadcast::ErrorMode error_mode = broadcast::ErrorMode::kPerReadLoss;
   size_t workers = 1;         ///< Engine worker threads.
   bool heap_clients = false;  ///< Heap (vs arena) client construction.
+  /// Duplicate-heavy dataset: a handful of distinct sites, each hosting a
+  /// pile of coincident objects (identical Hilbert keys) — exercises
+  /// equal-key runs in frame/chunk formation, kNN distance-multiset ties
+  /// and window membership of coincident points.
+  bool duplicates = false;
+  /// Broadcast generations (1 = static). With more than one, a
+  /// seed-determined update stream (inserts/deletes/moves) is applied
+  /// between consecutive generations, the DSI family republishes through
+  /// the incremental path, and queries run through sim::GenerationalRun
+  /// with tune-ins straddling the republication instants.
+  uint32_t generations = 1;
+  uint32_t updates_per_gen = 0;  ///< Update ops between generations.
+  uint32_t gen_cycles = 2;       ///< Airtime (cycles) per generation.
   /// Random window queries; four degenerate shapes (zero-area window on an
   /// object, window fully outside the universe, window overhanging an edge,
   /// window strictly containing the universe) are always appended.
@@ -78,6 +98,10 @@ struct ConformanceReport {
   std::vector<Divergence> divergences;
   size_t queries_checked = 0;  ///< Completed queries compared to the oracle.
   size_t incomplete = 0;       ///< Watchdog-aborted queries (skipped).
+  /// Queries that straddled a republication instant and restarted on a new
+  /// generation (dynamic cases only) — evidence the schedule actually
+  /// exercised cross-generation execution.
+  size_t restarted = 0;
   /// Where each watchdog abort happened (detail carries the result sizes);
   /// aborts are legitimate only under sustained heavy loss, so harness
   /// users assert on this list for moderate-theta sweeps.

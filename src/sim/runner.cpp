@@ -1,10 +1,12 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "broadcast/generation.hpp"
 #include "common/rng.hpp"
 #include "sim/worker_pool.hpp"
 
@@ -29,7 +31,55 @@ struct ShardSums {
   uint64_t tuning_bytes = 0;
   size_t queries = 0;
   size_t incomplete = 0;
+  size_t restarted = 0;
 };
+
+/// Builds query i's client over \p session (arena or heap per
+/// \p options) and runs the query. \p holder keeps a heap client alive
+/// for the caller's scope. Shared by the static and generational shard
+/// loops so allocation-mode and query-kind dispatch cannot diverge.
+std::vector<datasets::SpatialObject> RunOneQuery(
+    const air::AirIndexHandle& handle, broadcast::ClientSession* session,
+    const Workload& wl, size_t i, const RunOptions& options,
+    air::ClientArena& arena, std::unique_ptr<air::AirClient>* holder,
+    air::AirClient** client_out) {
+  air::AirClient* client;
+  if (options.heap_clients) {
+    *holder = handle.MakeClient(session);
+    client = holder->get();
+  } else {
+    client = handle.MakeClientIn(arena, session);
+  }
+  *client_out = client;
+  if (wl.kind == QueryKind::kWindow) {
+    return client->WindowQuery(wl.windows[i]);
+  }
+  return client->KnnQuery(wl.points[i], wl.k, wl.strategy);
+}
+
+/// Captures one answered query into the caller's result slot (entry i
+/// belongs to query i for any worker count — disjoint, no race).
+void RecordResult(const Workload& wl, size_t i,
+                  const std::vector<datasets::SpatialObject>& answer,
+                  bool completed, uint64_t generation, size_t restarts,
+                  std::vector<QueryResult>* results) {
+  QueryResult& r = (*results)[i];
+  r.ids.clear();
+  r.knn_distances.clear();
+  r.ids.reserve(answer.size());
+  for (const datasets::SpatialObject& o : answer) r.ids.push_back(o.id);
+  std::sort(r.ids.begin(), r.ids.end());
+  if (wl.kind == QueryKind::kKnn) {
+    r.knn_distances.reserve(answer.size());
+    for (const datasets::SpatialObject& o : answer) {
+      r.knn_distances.push_back(common::Distance(wl.points[i], o.location));
+    }
+    std::sort(r.knn_distances.begin(), r.knn_distances.end());
+  }
+  r.completed = completed;
+  r.generation = generation;
+  r.restarts = restarts;
+}
 
 ShardSums RunShard(const air::AirIndexHandle& index, const Workload& wl,
                    const RunOptions& options, size_t begin, size_t end) {
@@ -46,39 +96,71 @@ ShardSums RunShard(const air::AirIndexHandle& index, const Workload& wl,
         program, tune_in, broadcast::ErrorModel{wl.theta, wl.error_mode},
         rng.Fork());
     std::unique_ptr<air::AirClient> heap_client;
-    air::AirClient* client;
-    if (options.heap_clients) {
-      heap_client = index.MakeClient(&session);
-      client = heap_client.get();
-    } else {
-      client = index.MakeClientIn(arena, &session);
-    }
-    std::vector<datasets::SpatialObject> answer;
-    if (wl.kind == QueryKind::kWindow) {
-      answer = client->WindowQuery(wl.windows[i]);
-    } else {
-      answer = client->KnnQuery(wl.points[i], wl.k, wl.strategy);
-    }
+    air::AirClient* client = nullptr;
+    const std::vector<datasets::SpatialObject> answer = RunOneQuery(
+        index, &session, wl, i, options, arena, &heap_client, &client);
     const broadcast::Metrics m = session.metrics();
     sums.latency_bytes += m.access_latency_bytes;
     sums.tuning_bytes += m.tuning_bytes;
     ++sums.queries;
     if (!client->stats().completed) ++sums.incomplete;
     if (options.results != nullptr) {
-      QueryResult& r = (*options.results)[i];  // disjoint per query: no race
-      r.ids.clear();
-      r.knn_distances.clear();
-      r.ids.reserve(answer.size());
-      for (const datasets::SpatialObject& o : answer) r.ids.push_back(o.id);
-      std::sort(r.ids.begin(), r.ids.end());
-      if (wl.kind == QueryKind::kKnn) {
-        r.knn_distances.reserve(answer.size());
-        for (const datasets::SpatialObject& o : answer) {
-          r.knn_distances.push_back(common::Distance(wl.points[i], o.location));
-        }
-        std::sort(r.knn_distances.begin(), r.knn_distances.end());
+      RecordResult(wl, i, answer, client->stats().completed, /*generation=*/0,
+                   /*restarts=*/0, options.results);
+    }
+  }
+  return sums;
+}
+
+ShardSums RunGenerationalShard(const GenerationalIndex& index,
+                               const broadcast::GenerationSchedule& schedule,
+                               const Workload& wl, const RunOptions& options,
+                               size_t begin, size_t end) {
+  thread_local air::ClientArena arena;
+  ShardSums sums;
+  const uint64_t horizon = schedule.TuneInHorizon();
+  for (size_t i = begin; i < end; ++i) {
+    common::Rng rng(MixSeed(options.seed, i));
+    const auto tune_in = static_cast<uint64_t>(
+        rng.UniformInt(0, static_cast<int64_t>(horizon) - 1));
+    broadcast::ClientSession session(
+        schedule, tune_in, broadcast::ErrorModel{wl.theta, wl.error_mode},
+        rng.Fork());
+    // Probe before picking the client: the probe itself may park past a
+    // republication instant, and the client must be built for the
+    // generation actually on air (family clients re-probe idempotently).
+    session.InitialProbe();
+    std::vector<datasets::SpatialObject> answer;
+    bool completed = true;
+    size_t restarts = 0;
+    while (true) {
+      const uint64_t gen = session.generation();
+      std::unique_ptr<air::AirClient> heap_client;
+      air::AirClient* client = nullptr;
+      answer = RunOneQuery(*index.generations[gen], &session, wl, i, options,
+                           arena, &heap_client, &client);
+      const air::ClientStats st = client->stats();
+      if (st.stale) {
+        // The broadcast was republished mid-query: all learned state died
+        // with the old layout. Same session (latency keeps accruing), fresh
+        // client bound to the new generation. Generations strictly advance,
+        // so this loop runs at most num_generations times.
+        assert(session.generation() > gen);
+        ++restarts;
+        continue;
       }
-      r.completed = client->stats().completed;
+      completed = st.completed;
+      break;
+    }
+    const broadcast::Metrics m = session.metrics();
+    sums.latency_bytes += m.access_latency_bytes;
+    sums.tuning_bytes += m.tuning_bytes;
+    ++sums.queries;
+    if (!completed) ++sums.incomplete;
+    if (restarts > 0) ++sums.restarted;
+    if (options.results != nullptr) {
+      RecordResult(wl, i, answer, completed, session.generation(), restarts,
+                   options.results);
     }
   }
   return sums;
@@ -125,6 +207,62 @@ AvgMetrics RunWorkload(const air::AirIndexHandle& index,
 
   avg.queries = total.queries;
   avg.incomplete = total.incomplete;
+  if (total.queries > 0) {
+    avg.latency_bytes = static_cast<double>(total.latency_bytes) /
+                        static_cast<double>(total.queries);
+    avg.tuning_bytes = static_cast<double>(total.tuning_bytes) /
+                       static_cast<double>(total.queries);
+  }
+  return avg;
+}
+
+AvgMetrics GenerationalRun(const GenerationalIndex& index,
+                           const Workload& workload,
+                           const RunOptions& options) {
+  assert(!index.generations.empty());
+  assert(index.cycles.size() == index.generations.size());
+  const size_t n = workload.size();
+  AvgMetrics avg;
+  if (options.results != nullptr) options.results->assign(n, QueryResult{});
+  for (const air::AirIndexHandle* handle : index.generations) {
+    if (handle->program().cycle_packets() == 0) return avg;
+  }
+  if (n == 0) return avg;
+
+  broadcast::GenerationSchedule schedule;
+  for (size_t g = 0; g < index.generations.size(); ++g) {
+    schedule.Append(&index.generations[g]->program(), index.cycles[g]);
+  }
+
+  size_t workers =
+      options.workers != 0
+          ? options.workers
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  workers = std::min(workers, n);
+
+  ShardSums total;
+  if (workers <= 1) {
+    total = RunGenerationalShard(index, schedule, workload, options, 0, n);
+  } else {
+    std::vector<ShardSums> shard_sums(workers);
+    WorkerPool::Instance().Run(workers, [&](size_t w) {
+      const size_t begin = n * w / workers;
+      const size_t end = n * (w + 1) / workers;
+      shard_sums[w] =
+          RunGenerationalShard(index, schedule, workload, options, begin, end);
+    });
+    for (const ShardSums& s : shard_sums) {
+      total.latency_bytes += s.latency_bytes;
+      total.tuning_bytes += s.tuning_bytes;
+      total.queries += s.queries;
+      total.incomplete += s.incomplete;
+      total.restarted += s.restarted;
+    }
+  }
+
+  avg.queries = total.queries;
+  avg.incomplete = total.incomplete;
+  avg.restarted = total.restarted;
   if (total.queries > 0) {
     avg.latency_bytes = static_cast<double>(total.latency_bytes) /
                         static_cast<double>(total.queries);

@@ -33,6 +33,14 @@ struct QueryResult {
   /// comparisons use these (ids may legitimately differ under ties).
   std::vector<double> knn_distances;
   bool completed = true;  ///< False if the watchdog aborted the query.
+  /// The broadcast generation this result answers for: the one the client
+  /// was synchronized to when it finished (= live at its last (re)tune-in).
+  /// Always 0 for static runs; generation-aware oracles check the result
+  /// against the object set of THIS generation.
+  uint64_t generation = 0;
+  /// Republications the query observed mid-flight (each one invalidated
+  /// all learned state and restarted the search on the new layout).
+  size_t restarts = 0;
 };
 
 /// Averaged byte metrics over a workload.
@@ -41,6 +49,9 @@ struct AvgMetrics {
   double tuning_bytes = 0.0;
   size_t queries = 0;
   size_t incomplete = 0;  ///< Watchdog-aborted queries (extreme loss only).
+  /// Queries that straddled at least one republication instant and had to
+  /// restart on a new generation (generational runs only).
+  size_t restarted = 0;
 
   /// Relative deterioration of this run versus a lossless baseline, in
   /// percent (Table 1's quantity).
@@ -70,5 +81,31 @@ struct RunOptions {
 AvgMetrics RunWorkload(const air::AirIndexHandle& index,
                        const Workload& workload,
                        const RunOptions& options = {});
+
+/// One index family across broadcast generations: handle g serves the
+/// republished content after the g-th update batch. All handles must be
+/// the same family over the same channel (equal packet capacity).
+struct GenerationalIndex {
+  /// Per-generation handles (non-owning); at least one.
+  std::vector<const air::AirIndexHandle*> generations;
+  /// Airtime of each generation in its own broadcast cycles (>= 1). Entry
+  /// g < last bounds when generation g+1 takes over; the LAST generation
+  /// airs forever so in-flight queries always finish — its entry only
+  /// widens the uniform tune-in horizon.
+  std::vector<uint64_t> cycles;
+};
+
+/// The dynamic-broadcast experiment: like RunWorkload, but tune-in instants
+/// are uniform over the whole generational horizon, so queries straddle
+/// republication instants. A query that observes a generation switch
+/// (stale read) discards everything it learned and restarts against the
+/// new generation's handle on the SAME session — latency keeps counting
+/// from the original tune-in, exactly what a long-lived client pays.
+/// QueryResult::generation records which object set each answer reflects.
+/// Returns zeroed metrics for an empty workload or if any generation's
+/// program is empty.
+AvgMetrics GenerationalRun(const GenerationalIndex& index,
+                           const Workload& workload,
+                           const RunOptions& options = {});
 
 }  // namespace dsi::sim

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -54,9 +55,13 @@ TEST_P(ConformanceSweep, AllFamiliesMatchOracle) {
   EXPECT_TRUE(r.divergences.empty()) << Describe(r, c);
   // At theta <= 0.7 every query must finish within its watchdog budget;
   // aborts here historically meant a client was blocking on lost buckets
-  // instead of sweeping.
-  EXPECT_EQ(r.incomplete, 0u) << Describe(r, c);
-  EXPECT_GT(r.queries_checked, 0u);
+  // instead of sweeping. In the extreme-loss band (theta > 0.7) aborts are
+  // the channel's fault — only completed-query correctness and the exact
+  // incomplete accounting (checked inside the harness) are asserted.
+  if (c.theta <= 0.7) {
+    EXPECT_EQ(r.incomplete, 0u) << Describe(r, c);
+    EXPECT_GT(r.queries_checked, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConformanceSweep,
@@ -204,6 +209,66 @@ TEST(ConformanceRegression, KnnWithZeroK) {
     const auto client = handle->MakeClient(&session);
     EXPECT_TRUE(client->KnnQuery(common::Point{0.4, 0.6}, 0).empty())
         << handle->family();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bug-6 parity audit (PR 3 fixed the R-tree only): a watchdog-aborted query
+// in ANY family must return the objects it already paid to retrieve — a
+// partial result flagged completed = false — never a constructed-empty set.
+// At theta = 0.98 per-bucket loss every family sees aborts that had
+// retrieved data first; the partial must be a subset of the oracle (no
+// fabricated members) and at least one abort per family must be non-empty
+// (retention, not discarding).
+// ---------------------------------------------------------------------------
+TEST(ConformanceRegression, AbortedQueriesKeepPartialResultsAllFamilies) {
+  const auto u = datasets::UnitUniverse();
+  const auto objects = datasets::MakeUniform(40, u, 13);
+  const hilbert::SpaceMapper mapper(u, 5);
+  const core::DsiIndex dsi(objects, mapper, 64, core::DsiConfig{});
+  const air::DsiHandle dsi_handle(dsi);
+  const rtree::RtreeIndex rt(objects, 64);
+  const air::RtreeHandle rt_handle(rt);
+  const hci::HciIndex hc(objects, mapper, 64);
+  const air::HciHandle hci_handle(hc);
+  const air::ExpHandle exp_handle(objects, mapper, 64);
+
+  const common::Rect everything{u.min_x - 1, u.min_y - 1, u.max_x + 1,
+                                u.max_y + 1};
+  std::vector<uint32_t> oracle;
+  for (const auto& o : objects) oracle.push_back(o.id);
+  std::sort(oracle.begin(), oracle.end());
+
+  const sim::Workload wl =
+      sim::Workload::Window(std::vector<common::Rect>(4, everything), 0.98,
+                            broadcast::ErrorMode::kPerBucketLoss);
+  for (const air::AirIndexHandle* handle :
+       {static_cast<const air::AirIndexHandle*>(&dsi_handle),
+        static_cast<const air::AirIndexHandle*>(&rt_handle),
+        static_cast<const air::AirIndexHandle*>(&hci_handle),
+        static_cast<const air::AirIndexHandle*>(&exp_handle)}) {
+    std::vector<sim::QueryResult> results;
+    sim::RunOptions opt;
+    opt.seed = 3;
+    opt.results = &results;
+    const auto metrics = sim::RunWorkload(*handle, wl, opt);
+    size_t aborted = 0;
+    size_t aborted_nonempty = 0;
+    for (const auto& r : results) {
+      if (r.completed) continue;
+      ++aborted;
+      if (!r.ids.empty()) ++aborted_nonempty;
+      // Partial, never fabricated: every returned id really is in the
+      // window (here: the whole dataset).
+      EXPECT_TRUE(std::includes(oracle.begin(), oracle.end(), r.ids.begin(),
+                                r.ids.end()))
+          << handle->family();
+    }
+    EXPECT_GT(aborted, 0u) << handle->family();
+    EXPECT_GT(aborted_nonempty, 0u)
+        << handle->family()
+        << ": aborts discarded already-retrieved results (bug-6 class)";
+    EXPECT_EQ(metrics.incomplete, aborted) << handle->family();
   }
 }
 

@@ -1,0 +1,169 @@
+/// Degenerate-cardinality audit: n = 0 and n = 1 datasets through all four
+/// AirIndexHandles. Construction must never assert or invoke UB, an empty
+/// broadcast is an empty program (RunWorkload returns trivially correct
+/// empty answers), and single-object broadcasts answer every query shape —
+/// including the single-frame/single-chunk hop paths under loss.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "air/dsi_handle.hpp"
+#include "air/exp_handle.hpp"
+#include "air/hci_handle.hpp"
+#include "air/rtree_handle.hpp"
+#include "datasets/datasets.hpp"
+#include "dsi/index.hpp"
+#include "hci/hci.hpp"
+#include "hilbert/space_mapper.hpp"
+#include "rtree/rtree_air.hpp"
+#include "sim/runner.hpp"
+#include "sim/workload.hpp"
+
+namespace dsi {
+namespace {
+
+/// Owns one index of every family over the same object set.
+struct AllFamilies {
+  AllFamilies(const std::vector<datasets::SpatialObject>& objects,
+              const hilbert::SpaceMapper& mapper, size_t capacity)
+      : dsi(objects, mapper, capacity, core::DsiConfig{}),
+        rt(objects, capacity),
+        hc(objects, mapper, capacity),
+        dsi_handle(dsi),
+        rt_handle(rt),
+        hci_handle(hc),
+        exp_handle(objects, mapper, capacity) {
+    handles = {&dsi_handle, &rt_handle, &hci_handle, &exp_handle};
+  }
+
+  core::DsiIndex dsi;
+  rtree::RtreeIndex rt;
+  hci::HciIndex hc;
+  air::DsiHandle dsi_handle;
+  air::RtreeHandle rt_handle;
+  air::HciHandle hci_handle;
+  air::ExpHandle exp_handle;
+  std::vector<const air::AirIndexHandle*> handles;
+};
+
+TEST(DegenerateDatasets, EmptyDatasetBuildsEmptyProgramsEverywhere) {
+  const auto u = datasets::UnitUniverse();
+  const hilbert::SpaceMapper mapper(u, 5);
+  const std::vector<datasets::SpatialObject> none;
+  AllFamilies fam(none, mapper, 64);
+
+  const auto windows = sim::MakeWindowWorkload(3, 0.4, u, 1);
+  const auto points = sim::MakeKnnWorkload(2, u, 2);
+  for (const air::AirIndexHandle* handle : fam.handles) {
+    // Nothing on air: the program is empty...
+    EXPECT_EQ(handle->program().cycle_packets(), 0u) << handle->family();
+    // ...and the engine guards it: zero metrics, and since the dataset is
+    // empty, the default-captured empty result set IS the exact answer.
+    std::vector<sim::QueryResult> results;
+    sim::RunOptions opt;
+    opt.seed = 5;
+    opt.results = &results;
+    const auto mw =
+        sim::RunWorkload(*handle, sim::Workload::Window(windows), opt);
+    EXPECT_EQ(mw.queries, 0u) << handle->family();
+    ASSERT_EQ(results.size(), windows.size());
+    for (const auto& r : results) EXPECT_TRUE(r.ids.empty());
+    const auto mk =
+        sim::RunWorkload(*handle, sim::Workload::Knn(points, 4), opt);
+    EXPECT_EQ(mk.queries, 0u) << handle->family();
+  }
+}
+
+class SingleObject : public ::testing::TestWithParam<double> {};
+
+TEST_P(SingleObject, AllQueriesFindTheLoneObject) {
+  const double theta = GetParam();
+  const auto u = datasets::UnitUniverse();
+  const hilbert::SpaceMapper mapper(u, 5);
+  const std::vector<datasets::SpatialObject> one{
+      datasets::SpatialObject{42, common::Point{0.31, 0.77}}};
+  AllFamilies fam(one, mapper, 64);
+
+  // Window containing the object, window missing it, kNN from inside and
+  // far outside with k = 1 and k >> n — across tune-in instants and loss.
+  const common::Rect hit{0.2, 0.7, 0.4, 0.9};
+  const common::Rect miss{0.6, 0.1, 0.9, 0.3};
+  const std::vector<common::Point> points{common::Point{0.3, 0.8},
+                                          common::Point{-4.0, 7.0}};
+  for (const air::AirIndexHandle* handle : fam.handles) {
+    ASSERT_GT(handle->program().cycle_packets(), 0u) << handle->family();
+    std::vector<sim::QueryResult> results;
+    sim::RunOptions opt;
+    opt.seed = 9;
+    opt.results = &results;
+
+    sim::RunWorkload(*handle,
+                     sim::Workload::Window({hit, hit, miss, miss}, theta),
+                     opt);
+    ASSERT_EQ(results.size(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(results[i].completed)
+          << handle->family() << " theta=" << theta;
+      if (i < 2) {
+        EXPECT_EQ(results[i].ids, std::vector<uint32_t>{42})
+            << handle->family();
+      } else {
+        EXPECT_TRUE(results[i].ids.empty()) << handle->family();
+      }
+    }
+
+    for (size_t k : {1u, 7u}) {
+      sim::RunWorkload(
+          *handle,
+          sim::Workload::Knn(points, k, air::KnnStrategy::kConservative,
+                             theta),
+          opt);
+      for (const auto& r : results) {
+        ASSERT_TRUE(r.completed) << handle->family();
+        EXPECT_EQ(r.ids, std::vector<uint32_t>{42})
+            << handle->family() << " k=" << k;
+      }
+      // The aggressive strategy only differs for DSI; exercise it anyway.
+      sim::RunWorkload(
+          *handle,
+          sim::Workload::Knn(points, k, air::KnnStrategy::kAggressive, theta),
+          opt);
+      for (const auto& r : results) {
+        EXPECT_EQ(r.ids, std::vector<uint32_t>{42}) << handle->family();
+      }
+    }
+  }
+}
+
+// theta = 0.5 forces the single-frame/single-chunk recovery hop: the only
+// possible retry is the lone frame itself, next cycle.
+INSTANTIATE_TEST_SUITE_P(CleanAndLossy, SingleObject,
+                         ::testing::Values(0.0, 0.5));
+
+TEST(DegenerateDatasets, EmptyToOneObjectRepublication) {
+  // A broadcast born empty cannot be tuned into; but a generation that
+  // DELETES down to one object and one that re-inserts must both republish
+  // cleanly through the DSI incremental path.
+  const auto u = datasets::UnitUniverse();
+  const hilbert::SpaceMapper mapper(u, 5);
+  const std::vector<datasets::SpatialObject> two{
+      datasets::SpatialObject{0, common::Point{0.2, 0.2}},
+      datasets::SpatialObject{1, common::Point{0.8, 0.8}}};
+  const core::DsiIndex base(two, mapper, 64, core::DsiConfig{});
+
+  const std::vector<datasets::UpdateOp> del{
+      datasets::UpdateOp{datasets::UpdateKind::kDelete, 1, {}}};
+  const core::DsiIndex one = core::DsiIndex::Republish(base, del);
+  EXPECT_EQ(one.sorted_objects().size(), 1u);
+  EXPECT_EQ(one.num_frames(), 1u);
+
+  const std::vector<datasets::UpdateOp> ins{datasets::UpdateOp{
+      datasets::UpdateKind::kInsert, 9, common::Point{0.5, 0.5}}};
+  const core::DsiIndex back = core::DsiIndex::Republish(one, ins);
+  EXPECT_EQ(back.sorted_objects().size(), 2u);
+}
+
+}  // namespace
+}  // namespace dsi
