@@ -52,11 +52,28 @@ struct ClientStats {
   bool stale = false;
 };
 
-/// One query execution against a broadcast air index. Construct via
-/// AirIndexHandle::MakeClient with a fresh session; run exactly one query.
+/// Query execution against a broadcast air index. Construct via
+/// AirIndexHandle::MakeClient with a fresh session and run one query — or,
+/// for a continuous (moving) client, keep the instance alive on the same
+/// session and call BeginQuery() before every re-evaluation: everything a
+/// family learned from the channel (index tables, tree nodes, leaf
+/// anchors, retrieved objects) stays valid within one broadcast generation
+/// and cuts the next query's tuning cost. A client is bound to ONE
+/// generation's index: when session->generation() advances (republication),
+/// discard the client and build a new one against the new generation's
+/// handle — the PR-4 invalidation contract (ClientStats::stale signals a
+/// mid-query republication the same way).
 class AirClient {
  public:
   virtual ~AirClient() = default;
+
+  /// Arms the next query on this client: resets the per-query diagnostic
+  /// flags (completed/stale), re-arms the watchdog budget from the
+  /// session's current instant and drops any half-resolved per-query work
+  /// lists. Learned channel knowledge is deliberately kept — that is the
+  /// point of a continuous client. The constructor already arms the first
+  /// query, but calling this before it too is harmless.
+  virtual void BeginQuery() = 0;
 
   /// All objects inside \p window (exact).
   virtual std::vector<datasets::SpatialObject> WindowQuery(
@@ -130,6 +147,18 @@ class AirIndexHandle {
   /// fresh (InitialProbe not yet called) and outlive the client.
   virtual std::unique_ptr<AirClient> MakeClient(
       broadcast::ClientSession* session) const = 0;
+
+  /// Constructs a client meant to stay tuned and answer a STREAM of
+  /// queries on \p session (call BeginQuery before each). Most families'
+  /// single-query clients already reuse learned state across queries, so
+  /// the default is MakeClient; families whose single-query byte metrics
+  /// would change by consulting cross-query knowledge (the exponential
+  /// index's chunk-table/item-key cache) enable it only here, keeping the
+  /// one-query cold path bit-identical to the goldens.
+  virtual std::unique_ptr<AirClient> MakeContinuousClient(
+      broadcast::ClientSession* session) const {
+    return MakeClient(session);
+  }
 
   /// Arena variant of MakeClient: constructs the client inside \p arena
   /// (which owns it — do not delete). The engine calls this with one arena

@@ -11,6 +11,8 @@ class DsiAirClient : public AirClient {
   DsiAirClient(const core::DsiIndex& index, broadcast::ClientSession* session)
       : client_(index, session) {}
 
+  void BeginQuery() override { client_.BeginQuery(); }
+
   std::vector<datasets::SpatialObject> WindowQuery(
       const common::Rect& window) override {
     return client_.WindowQuery(window);

@@ -37,8 +37,11 @@ namespace {
 
 class ExpAirClient : public AirClient {
  public:
-  ExpAirClient(const ExpHandle& handle, broadcast::ClientSession* session)
-      : handle_(handle), client_(handle.index(), session) {}
+  ExpAirClient(const ExpHandle& handle, broadcast::ClientSession* session,
+               bool reuse_knowledge = false)
+      : handle_(handle), client_(handle.index(), session, reuse_knowledge) {}
+
+  void BeginQuery() override { client_.BeginQuery(); }
 
   std::vector<datasets::SpatialObject> WindowQuery(
       const common::Rect& window) override {
@@ -125,6 +128,12 @@ class ExpAirClient : public AirClient {
 std::unique_ptr<AirClient> ExpHandle::MakeClient(
     broadcast::ClientSession* session) const {
   return std::make_unique<ExpAirClient>(*this, session);
+}
+
+std::unique_ptr<AirClient> ExpHandle::MakeContinuousClient(
+    broadcast::ClientSession* session) const {
+  return std::make_unique<ExpAirClient>(*this, session,
+                                        /*reuse_knowledge=*/true);
 }
 
 AirClient* ExpHandle::MakeClientIn(ClientArena& arena,

@@ -48,6 +48,13 @@ class ExpHandle : public AirIndexHandle {
   }
   std::unique_ptr<AirClient> MakeClient(
       broadcast::ClientSession* session) const override;
+  /// Continuous variant: enables the ExpClient chunk-table / item-key
+  /// cache so knowledge survives across the stream's queries. Kept off
+  /// MakeClient — the cache would also change single-query byte metrics
+  /// (overlapping scans within one spatial query), which are pinned by the
+  /// golden suite.
+  std::unique_ptr<AirClient> MakeContinuousClient(
+      broadcast::ClientSession* session) const override;
   AirClient* MakeClientIn(ClientArena& arena,
                           broadcast::ClientSession* session) const override;
 

@@ -9,6 +9,8 @@ class HciAirClient : public AirClient {
   HciAirClient(const hci::HciIndex& index, broadcast::ClientSession* session)
       : client_(index, session) {}
 
+  void BeginQuery() override { client_.BeginQuery(); }
+
   std::vector<datasets::SpatialObject> WindowQuery(
       const common::Rect& window) override {
     return client_.WindowQuery(window);

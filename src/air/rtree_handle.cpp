@@ -10,6 +10,8 @@ class RtreeAirClient : public AirClient {
                  broadcast::ClientSession* session)
       : client_(index, session) {}
 
+  void BeginQuery() override { client_.BeginQuery(); }
+
   std::vector<datasets::SpatialObject> WindowQuery(
       const common::Rect& window) override {
     return client_.WindowQuery(window);

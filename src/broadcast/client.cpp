@@ -105,6 +105,34 @@ void ClientSession::InitialProbe() {
   ParkAtNextBoundary();
 }
 
+void ClientSession::Pace(uint64_t packets) {
+  assert(probed_);
+  if (packets == 0) return;
+  AdvanceTo(now_ + packets);
+  if (now_ >= gen_end_) {
+    // Woke up in a republished broadcast: the remembered layout is gone, so
+    // re-synchronize off one packet header, exactly like the initial probe.
+    if (trace_ != nullptr) {
+      trace_->push_back(TraceEvent{TraceEvent::Kind::kProbe, now_, now_ + 1,
+                                   /*slot=*/0, /*lost=*/false});
+    }
+    Listen(1);
+  }
+  ParkAtNextBoundary();
+}
+
+ClientSession ClientSession::ForkColdSession(uint64_t tune_in_packet,
+                                             common::Rng rng) const {
+  ClientSession cold =
+      schedule_ != nullptr
+          ? ClientSession(*schedule_, tune_in_packet, errors_, std::move(rng))
+          : ClientSession(*program_, tune_in_packet, errors_, std::move(rng));
+  // One physical channel: the per-bucket-instance loss coins belong to the
+  // channel, not the receiver, so the clone must flip the same ones.
+  cold.channel_seed_ = channel_seed_;
+  return cold;
+}
+
 uint64_t ClientSession::PacketsUntil(size_t slot) const {
   assert(probed_);
   const uint64_t cycle = program_->cycle_packets();

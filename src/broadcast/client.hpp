@@ -129,6 +129,28 @@ class ClientSession {
   /// Dozes until the next occurrence of \p slot without listening to it.
   void DozeTo(size_t slot);
 
+  /// Continuous listening: the client turns the radio off for \p packets
+  /// (think time between re-evaluations of a moving client), then parks on
+  /// the next bucket boundary. Within a generation the parked program
+  /// layout is still known, so parking is free; waking up PAST a
+  /// republication instant costs one header listen to re-synchronize,
+  /// exactly like the initial probe (generation() then reports the new
+  /// layout — every slot number learned before the doze is dead). Requires
+  /// a probed session; never used by single-query runs, so static goldens
+  /// are untouched.
+  void Pace(uint64_t packets);
+
+  /// A fresh session observing the SAME physical channel as this one,
+  /// tuning in at \p tune_in_packet: warm/cold differential baselines run
+  /// a cold client against it. Under kPerBucketLoss the clone shares this
+  /// session's channel seed, so both sessions agree on the fate of every
+  /// on-air bucket instance; kPerReadLoss / kSingleEvent draws come from
+  /// \p rng (those models are receiver-local by construction). The clone
+  /// follows the same generation schedule (if any) and carries no trace
+  /// sink.
+  ClientSession ForkColdSession(uint64_t tune_in_packet,
+                                common::Rng rng) const;
+
   /// Number of packets that would elapse dozing from now to the start of
   /// the next occurrence of \p slot (0 if it starts right now).
   uint64_t PacketsUntil(size_t slot) const;

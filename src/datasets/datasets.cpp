@@ -128,6 +128,54 @@ std::vector<SpatialObject> MakeRealLike(uint64_t seed) {
   return objs;
 }
 
+std::vector<common::Point> MakeTrajectory(size_t steps,
+                                          const common::Rect& universe,
+                                          const TrajectoryParams& params,
+                                          uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<common::Point> path;
+  path.reserve(steps);
+  if (steps == 0) return path;
+  common::Point pos{rng.Uniform(universe.min_x, universe.max_x),
+                    rng.Uniform(universe.min_y, universe.max_y)};
+  path.push_back(pos);
+  if (params.model == TrajectoryModel::kRandomWaypoint) {
+    common::Point target{rng.Uniform(universe.min_x, universe.max_x),
+                         rng.Uniform(universe.min_y, universe.max_y)};
+    for (size_t s = 1; s < steps; ++s) {
+      const double d = common::Distance(pos, target);
+      if (d <= params.speed) {
+        // Arrive this step, then head somewhere new next step.
+        pos = target;
+        target = common::Point{rng.Uniform(universe.min_x, universe.max_x),
+                               rng.Uniform(universe.min_y, universe.max_y)};
+      } else {
+        const double f = params.speed / d;
+        pos = common::Point{pos.x + f * (target.x - pos.x),
+                            pos.y + f * (target.y - pos.y)};
+      }
+      path.push_back(pos);
+    }
+  } else {
+    // Reflect a coordinate that stepped outside back across the boundary
+    // (then clamp: a pathological sigma could overshoot the far side too).
+    auto reflect = [](double v, double lo, double hi) {
+      if (v < lo) v = lo + (lo - v);
+      if (v > hi) v = hi - (v - hi);
+      return std::clamp(v, lo, hi);
+    };
+    for (size_t s = 1; s < steps; ++s) {
+      pos = common::Point{
+          reflect(pos.x + rng.Gaussian(0.0, params.sigma), universe.min_x,
+                  universe.max_x),
+          reflect(pos.y + rng.Gaussian(0.0, params.sigma), universe.min_y,
+                  universe.max_y)};
+      path.push_back(pos);
+    }
+  }
+  return path;
+}
+
 std::vector<UpdateOp> MakeUpdateStream(const std::vector<SpatialObject>& objects,
                                        size_t count,
                                        const common::Rect& universe,

@@ -54,6 +54,38 @@ std::vector<SpatialObject> MakeClustered(size_t n, size_t num_clusters,
 std::vector<SpatialObject> MakeRealLike(uint64_t seed = 7);
 
 // ---------------------------------------------------------------------------
+// Moving clients: trajectories for continuous-query workloads
+// ---------------------------------------------------------------------------
+
+/// Mobility models for the paper's motivating scenario — a client that
+/// stays tuned to the broadcast and re-issues its query as it moves.
+enum class TrajectoryModel : uint8_t {
+  /// Random waypoint: pick a uniform destination, travel toward it at
+  /// `speed` per step, pick the next destination on arrival. The classic
+  /// mobile-computing mobility model; produces long directional legs.
+  kRandomWaypoint,
+  /// Gaussian step: each step perturbs both coordinates by N(0, sigma),
+  /// reflected at the universe boundary. Produces local jitter (a
+  /// pedestrian, a drifting sensor).
+  kGaussianStep,
+};
+
+struct TrajectoryParams {
+  TrajectoryModel model = TrajectoryModel::kRandomWaypoint;
+  /// Random waypoint: travel distance per step, in universe units.
+  double speed = 0.05;
+  /// Gaussian step: per-axis standard deviation, in universe units.
+  double sigma = 0.02;
+};
+
+/// \p steps positions of one moving client, seed-deterministic. The first
+/// position is uniform over \p universe; every position lies inside it.
+std::vector<common::Point> MakeTrajectory(size_t steps,
+                                          const common::Rect& universe,
+                                          const TrajectoryParams& params,
+                                          uint64_t seed);
+
+// ---------------------------------------------------------------------------
 // Dynamic data: update streams between broadcast generations
 // ---------------------------------------------------------------------------
 

@@ -136,12 +136,28 @@ class SegmentKnowledge {
   std::vector<uint64_t> bits_;
 };
 
-/// One query execution against a DSI broadcast.
+/// Query execution against a DSI broadcast. One client serves one query —
+/// or, kept alive on the same session, a stream of them (the paper's
+/// moving client re-issuing queries as it travels): SegmentKnowledge, the
+/// learned-table bitmap, confirmed coverage and retrieved objects all
+/// describe the broadcast content itself, so they stay valid across
+/// queries within one generation and shrink each follow-up search. Call
+/// BeginQuery() before every re-evaluation; when session->generation()
+/// advances, the knowledge describes a dead layout — discard the client
+/// and build a fresh one against the new generation's index.
 class DsiClient {
  public:
   /// \param session A fresh session (InitialProbe not yet called); the
-  /// client performs the probe itself. One DsiClient runs one query.
+  /// client performs the probe itself.
   DsiClient(const DsiIndex& index, broadcast::ClientSession* session);
+
+  /// Arms the next query of a continuous client: clears the per-query
+  /// completed/stale flags (the search loop re-arms its own watchdog).
+  /// Learned knowledge is kept — it is what makes the warm client cheap.
+  void BeginQuery() {
+    stats_.completed = true;
+    stats_.stale = false;
+  }
 
   /// Point query via EEF: all objects whose HC value equals that of the
   /// cell containing \p p and whose location equals... is within the cell.

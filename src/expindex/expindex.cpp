@@ -89,10 +89,15 @@ ExpIndex::ChunkItems ExpIndex::ItemsAt(uint32_t position) const {
 // Client
 // ---------------------------------------------------------------------------
 
-ExpClient::ExpClient(const ExpIndex& index, broadcast::ClientSession* session)
-    : index_(index), session_(session) {
+ExpClient::ExpClient(const ExpIndex& index, broadcast::ClientSession* session,
+                     bool reuse_knowledge)
+    : index_(index), session_(session), reuse_(reuse_knowledge) {
   session_->InitialProbe();
   generation_ = session_->generation();
+  if (reuse_) {
+    table_known_.assign(index_.num_chunks(), 0);
+    key_known_.assign(index_.sorted_keys().size(), 0);
+  }
 }
 
 bool ExpClient::WatchdogExpired() const {
@@ -114,9 +119,14 @@ std::optional<uint32_t> ExpClient::ReadNextTable() {
       slot = (slot + 1) % nb;
       if (++guard > nb) return std::nullopt;
     }
+    const uint32_t pos = program.bucket(slot).payload;
+    // A continuous client that already holds this table reasons over it in
+    // memory — no listen, no doze.
+    if (reuse_ && table_known_[pos] != 0) return pos;
     if (session_->ReadBucket(slot)) {
       ++stats_.tables_read;
-      return program.bucket(slot).payload;
+      if (reuse_) table_known_[pos] = 1;
+      return pos;
     }
     if (SessionStale()) {
       stats_.stale = true;
@@ -147,9 +157,15 @@ std::optional<uint32_t> ExpClient::Forward(uint32_t from, uint64_t key) {
       }
     }
     // Hop: read the chosen chunk's table (loss recovery may land later;
-    // that is fine — forwarding re-evaluates from wherever it lands).
+    // that is fine — forwarding re-evaluates from wherever it lands). A
+    // remembered table makes the hop instantaneous.
+    if (reuse_ && table_known_[next] != 0) {
+      pos = next;
+      continue;
+    }
     if (session_->ReadBucket(index_.TableSlot(next))) {
       ++stats_.tables_read;
+      if (reuse_) table_known_[next] = 1;
       pos = next;
     } else {
       if (SessionStale()) {
@@ -207,8 +223,16 @@ std::vector<uint32_t> ExpClient::RangeQuery(uint64_t lo, uint64_t hi) {
     const auto items = index_.ItemsAt(pos);
     for (uint32_t i = 0; i < items.count; ++i) {
       const uint32_t rank = items.first_rank + i;
+      // A continuous client already holding this item's key filters it in
+      // memory; the radio stays off until the next unknown bucket.
+      if (reuse_ && key_known_[rank] != 0) {
+        const uint64_t key = index_.sorted_keys()[rank];
+        if (key >= lo && key <= hi) out.push_back(rank);
+        continue;
+      }
       if (session_->ReadBucket(items.first_slot + i)) {
         ++stats_.items_read;
+        if (reuse_) key_known_[rank] = 1;
         const uint64_t key = index_.sorted_keys()[rank];
         if (key >= lo && key <= hi) out.push_back(rank);
       } else {
@@ -233,8 +257,14 @@ std::vector<uint32_t> ExpClient::RangeQuery(uint64_t lo, uint64_t hi) {
     if (visited == index_.num_chunks()) break;  // full lap: nothing ahead
     const uint32_t next =
         static_cast<uint32_t>((pos + 1) % index_.num_chunks());
+    if (reuse_ && table_known_[next] != 0) {
+      have_table = true;
+      pos = next;
+      continue;
+    }
     if (session_->ReadBucket(index_.TableSlot(next))) {
       ++stats_.tables_read;
+      if (reuse_) table_known_[next] = 1;
       have_table = true;
     } else {
       if (SessionStale()) {
@@ -266,6 +296,7 @@ std::vector<uint32_t> ExpClient::RangeQuery(uint64_t lo, uint64_t hi) {
     if (session_->ReadBucket(missing[best_i].first)) {
       ++stats_.items_read;
       const uint32_t rank = missing[best_i].second;
+      if (reuse_) key_known_[rank] = 1;
       const uint64_t key = index_.sorted_keys()[rank];
       if (key >= lo && key <= hi) out.push_back(rank);
       missing.erase(missing.begin() + static_cast<ptrdiff_t>(best_i));

@@ -92,9 +92,28 @@ struct ExpQueryStats {
 
 /// Client-side search: exponential forwarding toward a key, then
 /// sequential retrieval over a key range.
+///
+/// Continuous clients: constructed with \p reuse_knowledge, the client
+/// remembers every chunk table and item key it has heard. A remembered
+/// table makes a forwarding hop (and the scan's stop check) free — the
+/// client reasons over it in memory instead of listening — and a
+/// remembered item key answers the range filter without re-reading the
+/// item. The cache describes one broadcast generation; rebuild the client
+/// when session->generation() advances. Single-query clients keep the
+/// flag off: consulting the cache would change their byte metrics (the
+/// spatial adapter issues overlapping scans within one query), and the
+/// cold path is pinned bit-for-bit by the golden suite.
 class ExpClient {
  public:
-  ExpClient(const ExpIndex& index, broadcast::ClientSession* session);
+  ExpClient(const ExpIndex& index, broadcast::ClientSession* session,
+            bool reuse_knowledge = false);
+
+  /// Arms the next query of a continuous client: clears the per-query
+  /// completed/stale flags (each range scan re-arms its own watchdog).
+  void BeginQuery() {
+    stats_.completed = true;
+    stats_.stale = false;
+  }
 
   /// Ranks (into sorted_keys()) of all items with key exactly \p key.
   std::vector<uint32_t> Lookup(uint64_t key);
@@ -122,6 +141,10 @@ class ExpClient {
   uint64_t generation_ = 0;  ///< Generation the chunk tables refer to.
   ExpQueryStats stats_;
   uint64_t deadline_packets_ = 0;
+  /// Cross-query knowledge (continuous clients only; empty otherwise).
+  bool reuse_ = false;
+  std::vector<uint8_t> table_known_;  ///< By chunk position.
+  std::vector<uint8_t> key_known_;    ///< By item rank.
 };
 
 }  // namespace dsi::expindex

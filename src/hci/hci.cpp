@@ -61,6 +61,14 @@ HciClient::HciClient(const HciIndex& index, broadcast::ClientSession* session)
                       kWatchdogCycles * index_.program().cycle_packets();
 }
 
+void HciClient::BeginQuery() {
+  pending_data_.clear();
+  stats_.completed = true;
+  stats_.stale = false;
+  deadline_packets_ = session_->now_packets() +
+                      kWatchdogCycles * index_.program().cycle_packets();
+}
+
 bool HciClient::WatchdogExpired() const {
   return session_->now_packets() >= deadline_packets_;
 }

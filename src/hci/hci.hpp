@@ -64,10 +64,22 @@ class HciIndex {
   broadcast::AirTreeBroadcast air_;
 };
 
-/// One query execution against an HCI broadcast.
+/// Query execution against an HCI broadcast: one query, or — kept alive on
+/// the same session — a stream of them. The node cache, leaf anchors and
+/// retrieved flags describe the broadcast content, so they survive across
+/// queries within one generation; call BeginQuery() before every
+/// re-evaluation, and rebuild the client on the new generation's index
+/// when session->generation() advances (the caches refer to a dead layout
+/// then).
 class HciClient {
  public:
   HciClient(const HciIndex& index, broadcast::ClientSession* session);
+
+  /// Arms the next query of a continuous client: clears the per-query
+  /// flags and the previous query's half-resolved data list, and re-arms
+  /// the watchdog from the session's current instant. The node cache, leaf
+  /// anchors and retrieved objects are kept.
+  void BeginQuery();
 
   std::vector<datasets::SpatialObject> WindowQuery(const common::Rect& window);
   std::vector<datasets::SpatialObject> KnnQuery(const common::Point& q,

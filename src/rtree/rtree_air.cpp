@@ -34,6 +34,14 @@ RtreeClient::RtreeClient(const RtreeIndex& index,
                       kWatchdogCycles * index_.program().cycle_packets();
 }
 
+void RtreeClient::BeginQuery() {
+  pending_data_.clear();
+  stats_.completed = true;
+  stats_.stale = false;
+  deadline_packets_ = session_->now_packets() +
+                      kWatchdogCycles * index_.program().cycle_packets();
+}
+
 bool RtreeClient::WatchdogExpired() const {
   return session_->now_packets() >= deadline_packets_;
 }

@@ -51,13 +51,22 @@ class RtreeIndex {
   broadcast::AirTreeBroadcast air_;
 };
 
-/// One query execution against an R-tree broadcast. Both searches keep a
+/// Query execution against an R-tree broadcast. Both searches keep a
 /// frontier of not-yet-visited relevant nodes and always read the one whose
 /// next broadcast occurrence comes soonest (branch-and-bound adapted to the
-/// linear channel).
+/// linear channel). A client kept alive on the same session serves a
+/// stream of queries: the node cache and retrieved flags stay valid within
+/// one generation (call BeginQuery() before each re-evaluation; rebuild the
+/// client on the new generation's index when session->generation()
+/// advances).
 class RtreeClient {
  public:
   RtreeClient(const RtreeIndex& index, broadcast::ClientSession* session);
+
+  /// Arms the next query of a continuous client: clears per-query flags
+  /// and the previous query's half-resolved data list, re-arms the
+  /// watchdog. The node cache and retrieved objects are kept.
+  void BeginQuery();
 
   std::vector<datasets::SpatialObject> WindowQuery(const common::Rect& window);
   std::vector<datasets::SpatialObject> KnnQuery(const common::Point& q,

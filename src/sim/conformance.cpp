@@ -17,6 +17,7 @@
 #include "hci/hci.hpp"
 #include "hilbert/space_mapper.hpp"
 #include "rtree/rtree_air.hpp"
+#include "sim/trajectory.hpp"
 #include "sim/workload.hpp"
 
 namespace dsi::sim {
@@ -117,6 +118,30 @@ CaseQueries MakeQueries(const ConformanceCase& c,
   return q;
 }
 
+std::vector<uint32_t> OracleWindowIds(
+    const std::vector<datasets::SpatialObject>& objects,
+    const common::Rect& window) {
+  std::vector<uint32_t> oracle;
+  for (const auto& o : objects) {
+    if (window.Contains(o.location)) oracle.push_back(o.id);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  return oracle;
+}
+
+std::vector<double> OracleKnnDistances(
+    const std::vector<datasets::SpatialObject>& objects,
+    const common::Point& q, size_t k) {
+  std::vector<double> oracle;
+  oracle.reserve(objects.size());
+  for (const auto& o : objects) {
+    oracle.push_back(common::Distance(q, o.location));
+  }
+  std::sort(oracle.begin(), oracle.end());
+  oracle.resize(std::min(k, oracle.size()));
+  return oracle;
+}
+
 std::string DescribeIdDiff(const std::vector<uint32_t>& oracle,
                            const std::vector<uint32_t>& got) {
   std::vector<uint32_t> missing;
@@ -187,6 +212,16 @@ void CheckWorkload(const std::vector<const air::AirIndexHandle*>& gens,
   size_t counted_incomplete = 0;
   for (size_t i = 0; i < results.size(); ++i) {
     const QueryResult& r = results[i];
+    // A client can never have listened longer than the whole query took:
+    // tuning <= latency must hold for EVERY query (aborted ones included),
+    // at every theta — not just on the workload averages.
+    if (r.tuning_bytes > r.latency_bytes) {
+      std::ostringstream os;
+      os << "per-query byte invariant violated: tuning_bytes="
+         << r.tuning_bytes << " > latency_bytes=" << r.latency_bytes;
+      report->divergences.push_back(
+          Divergence{family, workload_name, i, os.str()});
+    }
     if (!r.completed) {
       ++counted_incomplete;
       ++report->incomplete;
@@ -209,23 +244,15 @@ void CheckWorkload(const std::vector<const air::AirIndexHandle*>& gens,
     const std::vector<datasets::SpatialObject>& objects =
         gen_objects[r.generation];
     if (wl.kind == QueryKind::kWindow) {
-      std::vector<uint32_t> oracle;
-      for (const auto& o : objects) {
-        if (wl.windows[i].Contains(o.location)) oracle.push_back(o.id);
-      }
-      std::sort(oracle.begin(), oracle.end());
+      const std::vector<uint32_t> oracle =
+          OracleWindowIds(objects, wl.windows[i]);
       if (oracle != r.ids) {
         report->divergences.push_back(Divergence{
             family, workload_name, i, DescribeIdDiff(oracle, r.ids)});
       }
     } else {
-      std::vector<double> oracle;
-      oracle.reserve(objects.size());
-      for (const auto& o : objects) {
-        oracle.push_back(common::Distance(wl.points[i], o.location));
-      }
-      std::sort(oracle.begin(), oracle.end());
-      oracle.resize(std::min(wl.k, oracle.size()));
+      const std::vector<double> oracle =
+          OracleKnnDistances(objects, wl.points[i], wl.k);
       if (oracle != r.knn_distances) {
         report->divergences.push_back(Divergence{
             family, workload_name, i,
@@ -250,6 +277,159 @@ void CheckWorkload(const std::vector<const air::AirIndexHandle*>& gens,
   }
 }
 
+/// The continuous moving-client differential axis: persistent warm clients
+/// re-evaluate along seed-determined trajectories; a fresh cold client
+/// re-runs every step at the same instant over the same channel. Warm and
+/// cold must answer identically whenever they answered for the same
+/// generation and both completed; both must match their generation's
+/// oracle; every step must satisfy tuning <= latency; and the aggregate
+/// incomplete accounting must be exact on both paths.
+void CheckTrajectories(const std::vector<const air::AirIndexHandle*>& gens,
+                       QueryKind kind, const ConformanceCase& c,
+                       const std::string& family,
+                       const std::string& workload_name,
+                       const std::vector<std::vector<datasets::SpatialObject>>&
+                           gen_objects,
+                       ConformanceReport* report) {
+  if (c.trajectory_clients == 0 || c.trajectory_steps == 0) return;
+  const common::Rect u = datasets::UnitUniverse();
+  common::Rng rng(c.seed * 0x9E3779B97F4A7C15ull + 0x7EA);
+  datasets::TrajectoryParams params;
+  params.model = c.seed % 2 == 0 ? datasets::TrajectoryModel::kRandomWaypoint
+                                 : datasets::TrajectoryModel::kGaussianStep;
+  params.speed = rng.Uniform(0.01, 0.15);
+  params.sigma = rng.Uniform(0.005, 0.08);
+  TrajectoryWorkload wl =
+      MakeTrajectoryWorkload(kind, c.trajectory_clients, c.trajectory_steps,
+                             params, u, c.seed * 7 + 5);
+  wl.window_side = rng.Uniform(0.05, 0.4) * u.Width();
+  wl.k = c.k;
+  wl.theta = c.theta;
+  wl.error_mode = c.error_mode;
+  // Think time between re-evaluations: up to two cycles, so paced tours on
+  // dynamic cases regularly doze across republication instants.
+  wl.pace_packets = static_cast<uint64_t>(rng.UniformInt(
+      0, static_cast<int64_t>(2 * gens[0]->program().cycle_packets())));
+
+  std::vector<std::vector<TrajectoryStep>> results;
+  TrajectoryOptions opt;
+  opt.seed = c.seed;
+  opt.workers = c.workers;
+  opt.heap_clients = c.heap_clients;
+  opt.cold_baseline = true;
+  opt.results = &results;
+  TrajectoryMetrics m;
+  if (gens.size() == 1) {
+    m = RunTrajectories(*gens[0], wl, opt);
+  } else {
+    GenerationalIndex gi;
+    gi.generations = gens;
+    gi.cycles.assign(gens.size(), std::max<uint64_t>(1, c.gen_cycles));
+    m = RunTrajectories(gi, wl, opt);
+  }
+  report->restarted += m.restarted;
+
+  size_t counted_incomplete = 0;
+  size_t counted_cold_incomplete = 0;
+  size_t counted_steps = 0;
+  for (size_t cl = 0; cl < results.size(); ++cl) {
+    for (size_t s = 0; s < results[cl].size(); ++s) {
+      const TrajectoryStep& step = results[cl][s];
+      const size_t index = cl * c.trajectory_steps + s;
+      ++counted_steps;
+      // Both paths go through the full per-result audit: byte invariant,
+      // generation stamp, oracle of the stamped generation.
+      struct Side {
+        const QueryResult* r;
+        const char* label;
+      };
+      for (const Side side : {Side{&step.warm, "warm"},
+                              Side{&step.cold, "cold"}}) {
+        const QueryResult& r = *side.r;
+        if (r.tuning_bytes > r.latency_bytes) {
+          std::ostringstream os;
+          os << side.label << " step byte invariant violated: tuning_bytes="
+             << r.tuning_bytes << " > latency_bytes=" << r.latency_bytes;
+          report->divergences.push_back(
+              Divergence{family, workload_name, index, os.str()});
+        }
+        if (!r.completed) {
+          if (side.r == &step.warm) ++counted_incomplete;
+          else ++counted_cold_incomplete;
+          std::ostringstream os;
+          os << side.label << " step aborted with " << r.ids.size()
+             << " result ids";
+          report->incomplete_queries.push_back(
+              Divergence{family, workload_name, index, os.str()});
+          continue;
+        }
+        ++report->queries_checked;
+        if (r.generation >= gen_objects.size()) {
+          report->divergences.push_back(Divergence{
+              family, workload_name, index,
+              std::string(side.label) +
+                  " step stamped with out-of-schedule generation " +
+                  std::to_string(r.generation)});
+          continue;
+        }
+        const auto& objects = gen_objects[r.generation];
+        if (kind == QueryKind::kWindow) {
+          const std::vector<uint32_t> oracle =
+              OracleWindowIds(objects, wl.WindowAt(cl, s));
+          if (oracle != r.ids) {
+            report->divergences.push_back(
+                Divergence{family, workload_name, index,
+                           std::string(side.label) + " " +
+                               DescribeIdDiff(oracle, r.ids)});
+          }
+        } else {
+          const std::vector<double> oracle =
+              OracleKnnDistances(objects, wl.clients[cl][s], wl.k);
+          if (oracle != r.knn_distances) {
+            report->divergences.push_back(
+                Divergence{family, workload_name, index,
+                           std::string(side.label) + " " +
+                               DescribeDistDiff(oracle, r.knn_distances)});
+          }
+        }
+      }
+      // Warm/cold parity proper: same query, same instant, same channel —
+      // a persistent client's learned knowledge must never change the
+      // answer. (When the two straddled a republication differently each
+      // is already checked against its own generation's oracle above.)
+      if (step.warm.completed && step.cold.completed &&
+          step.warm.generation == step.cold.generation) {
+        if (kind == QueryKind::kWindow && step.warm.ids != step.cold.ids) {
+          report->divergences.push_back(
+              Divergence{family, workload_name, index,
+                         "warm/cold parity: " +
+                             DescribeIdDiff(step.cold.ids, step.warm.ids)});
+        }
+        if (kind == QueryKind::kKnn &&
+            step.warm.knn_distances != step.cold.knn_distances) {
+          report->divergences.push_back(Divergence{
+              family, workload_name, index,
+              "warm/cold parity: " +
+                  DescribeDistDiff(step.cold.knn_distances,
+                                   step.warm.knn_distances)});
+        }
+      }
+    }
+  }
+  if (m.incomplete != counted_incomplete ||
+      m.cold_incomplete != counted_cold_incomplete ||
+      m.steps != counted_steps) {
+    std::ostringstream os;
+    os << "trajectory accounting mismatch: TrajectoryMetrics{steps="
+       << m.steps << ", incomplete=" << m.incomplete
+       << ", cold_incomplete=" << m.cold_incomplete << "} vs results{steps="
+       << counted_steps << ", incomplete=" << counted_incomplete
+       << ", cold_incomplete=" << counted_cold_incomplete << "}";
+    report->divergences.push_back(
+        Divergence{family, workload_name, counted_steps, os.str()});
+  }
+}
+
 void RunFamily(const std::vector<const air::AirIndexHandle*>& gens,
                const ConformanceCase& c, const std::string& family,
                const CaseQueries& q,
@@ -271,6 +451,10 @@ void RunFamily(const std::vector<const air::AirIndexHandle*>& gens,
                               air::KnnStrategy::kConservative, c.theta,
                               c.error_mode),
                 c, family, "knn-big", gen_objects, report);
+  CheckTrajectories(gens, QueryKind::kWindow, c, family, "traj-window",
+                    gen_objects, report);
+  CheckTrajectories(gens, QueryKind::kKnn, c, family, "traj-knn",
+                    gen_objects, report);
 }
 
 bool WantFamily(const std::vector<std::string>& families,
@@ -340,6 +524,17 @@ ConformanceCase MakeConformanceCase(uint64_t seed) {
                             : 0);  // 0 = packet-driven derivation
   c.chunk_size = static_cast<uint32_t>(rng.UniformInt(1, 4));
   c.k = static_cast<size_t>(rng.UniformInt(1, 12));
+
+  // Continuous moving-client axis: small tours on every seed (seed
+  // arithmetic, not rng draws, so the existing case derivation above is
+  // untouched). Extreme-loss cases keep the axis minimal — every aborted
+  // step burns a full watchdog budget.
+  c.trajectory_clients = 1 + static_cast<uint32_t>((seed / 11) % 2);
+  c.trajectory_steps = 3 + static_cast<uint32_t>((seed / 13) % 3);
+  if (extreme) {
+    c.trajectory_clients = 1;
+    c.trajectory_steps = 2;
+  }
   return c;
 }
 
@@ -451,7 +646,9 @@ std::string FormatReproducer(const ConformanceCase& c,
      << " --k=" << c.k << " --duplicates=" << (c.duplicates ? 1 : 0)
      << " --generations=" << c.generations
      << " --updates=" << c.updates_per_gen
-     << " --gen-cycles=" << c.gen_cycles;
+     << " --gen-cycles=" << c.gen_cycles
+     << " --traj-clients=" << c.trajectory_clients
+     << " --traj-steps=" << c.trajectory_steps;
   if (!family.empty()) os << " --families=" << family;
   return os.str();
 }

@@ -78,6 +78,15 @@ struct ConformanceCase {
   /// are always appended.
   size_t knn_points = 2;
   size_t k = 8;  ///< Small-k value; a k >= n workload always runs too.
+  /// Continuous moving-client axis (sim::RunTrajectories): persistent
+  /// warm clients re-evaluate along seed-determined trajectories while a
+  /// fresh cold client re-runs every step at the same instant over the
+  /// same channel. Checked: warm/cold result parity (same generation, both
+  /// completed), both answers against the oracle of their generation, the
+  /// per-step tuning <= latency invariant, and exact incomplete
+  /// accounting. 0 clients or 0 steps disables the axis.
+  uint32_t trajectory_clients = 2;
+  uint32_t trajectory_steps = 4;
 };
 
 /// Randomizes a case from a sweep seed. Guarantees coverage of m = 1 and

@@ -8,21 +8,12 @@
 
 #include "broadcast/generation.hpp"
 #include "common/rng.hpp"
+#include "sim/seed_mix.hpp"
 #include "sim/worker_pool.hpp"
 
 namespace dsi::sim {
 
 namespace {
-
-/// SplitMix64 finalizer: decorrelates consecutive query indices into
-/// independent per-query seeds. Forking by query index (not iteration
-/// order) is what makes sharded execution bit-identical to serial.
-uint64_t MixSeed(uint64_t seed, uint64_t query_index) {
-  uint64_t z = seed + (query_index + 1) * 0x9E3779B97F4A7C15ull;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
 
 /// Exact per-shard sums. Latency/tuning are integer byte counts, so shard
 /// merges are associative — no floating-point order sensitivity.
@@ -57,28 +48,19 @@ std::vector<datasets::SpatialObject> RunOneQuery(
   return client->KnnQuery(wl.points[i], wl.k, wl.strategy);
 }
 
-/// Captures one answered query into the caller's result slot (entry i
-/// belongs to query i for any worker count — disjoint, no race).
+/// Captures query i into the caller's result slot (entry i belongs to
+/// query i for any worker count — disjoint, no race).
 void RecordResult(const Workload& wl, size_t i,
                   const std::vector<datasets::SpatialObject>& answer,
                   bool completed, uint64_t generation, size_t restarts,
+                  const broadcast::Metrics& m,
                   std::vector<QueryResult>* results) {
-  QueryResult& r = (*results)[i];
-  r.ids.clear();
-  r.knn_distances.clear();
-  r.ids.reserve(answer.size());
-  for (const datasets::SpatialObject& o : answer) r.ids.push_back(o.id);
-  std::sort(r.ids.begin(), r.ids.end());
-  if (wl.kind == QueryKind::kKnn) {
-    r.knn_distances.reserve(answer.size());
-    for (const datasets::SpatialObject& o : answer) {
-      r.knn_distances.push_back(common::Distance(wl.points[i], o.location));
-    }
-    std::sort(r.knn_distances.begin(), r.knn_distances.end());
-  }
-  r.completed = completed;
-  r.generation = generation;
-  r.restarts = restarts;
+  detail::CaptureResult(wl.kind,
+                        wl.kind == QueryKind::kKnn ? wl.points[i]
+                                                   : common::Point{},
+                        answer, completed, generation, restarts,
+                        m.access_latency_bytes, m.tuning_bytes,
+                        &(*results)[i]);
 }
 
 ShardSums RunShard(const air::AirIndexHandle& index, const Workload& wl,
@@ -106,7 +88,7 @@ ShardSums RunShard(const air::AirIndexHandle& index, const Workload& wl,
     if (!client->stats().completed) ++sums.incomplete;
     if (options.results != nullptr) {
       RecordResult(wl, i, answer, client->stats().completed, /*generation=*/0,
-                   /*restarts=*/0, options.results);
+                   /*restarts=*/0, m, options.results);
     }
   }
   return sums;
@@ -160,13 +142,41 @@ ShardSums RunGenerationalShard(const GenerationalIndex& index,
     if (restarts > 0) ++sums.restarted;
     if (options.results != nullptr) {
       RecordResult(wl, i, answer, completed, session.generation(), restarts,
-                   options.results);
+                   m, options.results);
     }
   }
   return sums;
 }
 
 }  // namespace
+
+namespace detail {
+
+void CaptureResult(QueryKind kind, const common::Point& query_point,
+                   const std::vector<datasets::SpatialObject>& answer,
+                   bool completed, uint64_t generation, size_t restarts,
+                   uint64_t latency_bytes, uint64_t tuning_bytes,
+                   QueryResult* out) {
+  out->ids.clear();
+  out->knn_distances.clear();
+  out->ids.reserve(answer.size());
+  for (const datasets::SpatialObject& o : answer) out->ids.push_back(o.id);
+  std::sort(out->ids.begin(), out->ids.end());
+  if (kind == QueryKind::kKnn) {
+    out->knn_distances.reserve(answer.size());
+    for (const datasets::SpatialObject& o : answer) {
+      out->knn_distances.push_back(common::Distance(query_point, o.location));
+    }
+    std::sort(out->knn_distances.begin(), out->knn_distances.end());
+  }
+  out->completed = completed;
+  out->generation = generation;
+  out->restarts = restarts;
+  out->latency_bytes = latency_bytes;
+  out->tuning_bytes = tuning_bytes;
+}
+
+}  // namespace detail
 
 AvgMetrics RunWorkload(const air::AirIndexHandle& index,
                        const Workload& workload, const RunOptions& options) {

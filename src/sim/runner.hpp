@@ -41,6 +41,12 @@ struct QueryResult {
   /// Republications the query observed mid-flight (each one invalidated
   /// all learned state and restarted the search on the new layout).
   size_t restarts = 0;
+  /// This query's own byte metrics (the aggregate averages are separate).
+  /// For trajectory steps these are the step's deltas, so per-query
+  /// invariants (tuning <= latency) can be audited at every query, not
+  /// just on averages.
+  uint64_t latency_bytes = 0;
+  uint64_t tuning_bytes = 0;
 };
 
 /// Averaged byte metrics over a workload.
@@ -107,5 +113,20 @@ struct GenerationalIndex {
 AvgMetrics GenerationalRun(const GenerationalIndex& index,
                            const Workload& workload,
                            const RunOptions& options = {});
+
+namespace detail {
+
+/// Captures one answered query into \p out: ids sorted, kNN distance
+/// multiset from \p query_point (ignored for windows), flags and byte
+/// metrics. The ONE result-capture routine, shared by RunWorkload,
+/// GenerationalRun and RunTrajectories — the conformance oracles compare
+/// these fields, so the capture rules must be identical everywhere.
+void CaptureResult(QueryKind kind, const common::Point& query_point,
+                   const std::vector<datasets::SpatialObject>& answer,
+                   bool completed, uint64_t generation, size_t restarts,
+                   uint64_t latency_bytes, uint64_t tuning_bytes,
+                   QueryResult* out);
+
+}  // namespace detail
 
 }  // namespace dsi::sim

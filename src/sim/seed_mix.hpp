@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file seed_mix.hpp
+/// \brief The engine's per-index seed fork, shared by every runner
+/// (RunWorkload, GenerationalRun, RunTrajectories).
+///
+/// CAUTION: the formula is pinned by the golden byte-metric suite — every
+/// tune-in instant and error stream in the goldens derives from it. Never
+/// change it; add a differently-salted call site instead.
+
+#include <cstdint>
+
+namespace dsi::sim {
+
+/// SplitMix64 finalizer: decorrelates consecutive indices (query index,
+/// client index, step index) into independent per-unit seeds. Forking by
+/// INDEX (not iteration order) is what makes sharded execution
+/// bit-identical to serial.
+inline uint64_t MixSeed(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + (index + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace dsi::sim

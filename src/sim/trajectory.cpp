@@ -1,0 +1,299 @@
+#include "sim/trajectory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <thread>
+
+#include "broadcast/generation.hpp"
+#include "common/rng.hpp"
+#include "sim/seed_mix.hpp"
+#include "sim/worker_pool.hpp"
+
+namespace dsi::sim {
+
+namespace {
+
+/// Salt separating the cold-baseline rng stream from the warm tour stream:
+/// the two must be independent even though both fork from the run seed.
+constexpr uint64_t kColdSalt = 0xC01DBA5Eull;
+
+/// Exact integer sums of one shard of clients (associative merges keep the
+/// run bit-identical for any worker count).
+struct TourSums {
+  uint64_t latency_bytes = 0;
+  uint64_t tuning_bytes = 0;
+  uint64_t cold_latency_bytes = 0;
+  uint64_t cold_tuning_bytes = 0;
+  size_t steps = 0;
+  size_t incomplete = 0;
+  size_t restarted = 0;
+  size_t cold_incomplete = 0;
+};
+
+/// Runs the step query of client \p c at step \p s on \p client.
+std::vector<datasets::SpatialObject> RunStepQuery(
+    air::AirClient& client, const TrajectoryWorkload& wl, size_t c,
+    size_t s) {
+  if (wl.kind == QueryKind::kWindow) {
+    return client.WindowQuery(wl.WindowAt(c, s));
+  }
+  return client.KnnQuery(wl.clients[c][s], wl.k, wl.strategy);
+}
+
+/// The cold baseline for one step: a fresh session over the same channel
+/// tuning in at \p tune_in, a fresh client per generation it straddles —
+/// exactly what sim::GenerationalRun pays for a one-shot query.
+void RunColdStep(const std::vector<const air::AirIndexHandle*>& gens,
+                 const TrajectoryWorkload& wl, size_t c, size_t s,
+                 const broadcast::ClientSession& warm_session,
+                 uint64_t tune_in, const TrajectoryOptions& options,
+                 air::ClientArena& arena, TourSums* sums,
+                 QueryResult* result_out) {
+  common::Rng cold_rng(
+      MixSeed(MixSeed(options.seed ^ kColdSalt, c), s));
+  broadcast::ClientSession session =
+      warm_session.ForkColdSession(tune_in, cold_rng.Fork());
+  session.InitialProbe();
+  std::vector<datasets::SpatialObject> answer;
+  bool completed = true;
+  size_t restarts = 0;
+  while (true) {
+    const uint64_t gen = session.generation();
+    std::unique_ptr<air::AirClient> heap_client;
+    air::AirClient* client;
+    if (options.heap_clients) {
+      heap_client = gens[gen]->MakeClient(&session);
+      client = heap_client.get();
+    } else {
+      client = gens[gen]->MakeClientIn(arena, &session);
+    }
+    answer = RunStepQuery(*client, wl, c, s);
+    const air::ClientStats st = client->stats();
+    if (st.stale) {
+      assert(session.generation() > gen);
+      ++restarts;
+      continue;
+    }
+    completed = st.completed;
+    break;
+  }
+  const broadcast::Metrics m = session.metrics();
+  sums->cold_latency_bytes += m.access_latency_bytes;
+  sums->cold_tuning_bytes += m.tuning_bytes;
+  if (!completed) ++sums->cold_incomplete;
+  if (result_out != nullptr) {
+    detail::CaptureResult(wl.kind, wl.clients[c][s], answer, completed,
+                          session.generation(), restarts,
+                          m.access_latency_bytes, m.tuning_bytes,
+                          result_out);
+  }
+}
+
+/// One client's whole tour: a single session, a persistent warm client,
+/// one re-evaluation per step (plus the optional cold baseline per step).
+void RunTour(const std::vector<const air::AirIndexHandle*>& gens,
+             const broadcast::GenerationSchedule& schedule,
+             const TrajectoryWorkload& wl, const TrajectoryOptions& options,
+             size_t c, TourSums* sums,
+             std::vector<TrajectoryStep>* steps_out) {
+  const size_t steps = wl.clients[c].size();
+  if (steps == 0) return;
+  common::Rng rng(MixSeed(options.seed, c));
+  const uint64_t horizon = schedule.TuneInHorizon();
+  const auto tune_in = static_cast<uint64_t>(
+      rng.UniformInt(0, static_cast<int64_t>(horizon) - 1));
+  broadcast::ClientSession session(
+      schedule, tune_in, broadcast::ErrorModel{wl.theta, wl.error_mode},
+      rng.Fork());
+
+  // One arena per pool thread for the cold baselines; the warm client owns
+  // its storage for the whole tour (it must survive every cold build).
+  thread_local air::ClientArena cold_arena;
+  std::unique_ptr<air::AirClient> warm;
+  uint64_t warm_gen = 0;
+
+  for (size_t s = 0; s < steps; ++s) {
+    broadcast::Metrics before = session.metrics();
+    if (s > 0 && wl.pace_packets > 0) {
+      session.Pace(wl.pace_packets);
+      // Only the radio-off think time itself is excluded from the step's
+      // cost; whatever Pace spent beyond it — the one-packet re-sync
+      // listen after waking past a republication instant, the doze to the
+      // next bucket boundary — is real radio work the step pays for, so
+      // it stays inside the delta (tuning <= latency keeps holding: every
+      // listened packet also advances the clock).
+      before.access_latency_bytes +=
+          wl.pace_packets * session.program().packet_capacity();
+    }
+    const uint64_t step_start = session.now_packets();
+    // Probe before picking the client: the probe itself may park past a
+    // republication instant (step 0 only; later steps fall through).
+    session.InitialProbe();
+    if (warm == nullptr || session.generation() != warm_gen) {
+      // First step, or the broadcast was republished while the client was
+      // dozing between re-evaluations: all learned state referred to the
+      // dead layout — rebuild against the generation now on air.
+      warm_gen = session.generation();
+      warm = gens[warm_gen]->MakeContinuousClient(&session);
+    }
+    std::vector<datasets::SpatialObject> answer;
+    bool completed = true;
+    size_t restarts = 0;
+    while (true) {
+      warm->BeginQuery();
+      answer = RunStepQuery(*warm, wl, c, s);
+      const air::ClientStats st = warm->stats();
+      if (st.stale) {
+        // Republished mid-step: same invalidate-and-restart contract as
+        // sim::GenerationalRun, on the same session (the step keeps paying
+        // latency from its own start). Generations strictly advance, so
+        // this loop is bounded by the schedule length.
+        assert(session.generation() > warm_gen);
+        warm_gen = session.generation();
+        warm = gens[warm_gen]->MakeContinuousClient(&session);
+        ++restarts;
+        continue;
+      }
+      completed = st.completed;
+      break;
+    }
+    const broadcast::Metrics after = session.metrics();
+    const uint64_t step_latency =
+        after.access_latency_bytes - before.access_latency_bytes;
+    const uint64_t step_tuning = after.tuning_bytes - before.tuning_bytes;
+    sums->latency_bytes += step_latency;
+    sums->tuning_bytes += step_tuning;
+    ++sums->steps;
+    if (!completed) ++sums->incomplete;
+    if (restarts > 0) ++sums->restarted;
+    QueryResult* warm_out = nullptr;
+    QueryResult* cold_out = nullptr;
+    if (steps_out != nullptr) {
+      warm_out = &(*steps_out)[s].warm;
+      cold_out = &(*steps_out)[s].cold;
+    }
+    if (warm_out != nullptr) {
+      detail::CaptureResult(wl.kind, wl.clients[c][s], answer, completed,
+                            session.generation(), restarts, step_latency,
+                            step_tuning, warm_out);
+    }
+    if (options.cold_baseline) {
+      RunColdStep(gens, wl, c, s, session, step_start, options, cold_arena,
+                  sums, cold_out);
+    }
+  }
+}
+
+TrajectoryMetrics RunTrajectoriesImpl(
+    const std::vector<const air::AirIndexHandle*>& gens,
+    const std::vector<uint64_t>& cycles, const TrajectoryWorkload& wl,
+    const TrajectoryOptions& options) {
+  assert(!gens.empty());
+  assert(cycles.size() == gens.size());
+  const size_t num_clients = wl.clients.size();
+  TrajectoryMetrics avg;
+  if (options.results != nullptr) {
+    options.results->assign(num_clients, {});
+    for (size_t c = 0; c < num_clients; ++c) {
+      (*options.results)[c].assign(wl.clients[c].size(), TrajectoryStep{});
+    }
+  }
+  for (const air::AirIndexHandle* handle : gens) {
+    if (handle->program().cycle_packets() == 0) return avg;
+  }
+  if (num_clients == 0 || wl.num_steps() == 0) return avg;
+
+  broadcast::GenerationSchedule schedule;
+  for (size_t g = 0; g < gens.size(); ++g) {
+    schedule.Append(&gens[g]->program(), cycles[g]);
+  }
+
+  size_t workers =
+      options.workers != 0
+          ? options.workers
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  workers = std::min(workers, num_clients);
+
+  auto run_shard = [&](size_t begin, size_t end, TourSums* sums) {
+    for (size_t c = begin; c < end; ++c) {
+      RunTour(gens, schedule, wl, options, c, sums,
+              options.results != nullptr ? &(*options.results)[c] : nullptr);
+    }
+  };
+
+  TourSums total;
+  if (workers <= 1) {
+    run_shard(0, num_clients, &total);
+  } else {
+    // Shard boundaries depend only on (num_clients, workers); every tour's
+    // randomness is forked by client index, so any worker count reproduces
+    // the serial run exactly.
+    std::vector<TourSums> shard_sums(workers);
+    WorkerPool::Instance().Run(workers, [&](size_t w) {
+      const size_t begin = num_clients * w / workers;
+      const size_t end = num_clients * (w + 1) / workers;
+      run_shard(begin, end, &shard_sums[w]);
+    });
+    for (const TourSums& s : shard_sums) {
+      total.latency_bytes += s.latency_bytes;
+      total.tuning_bytes += s.tuning_bytes;
+      total.cold_latency_bytes += s.cold_latency_bytes;
+      total.cold_tuning_bytes += s.cold_tuning_bytes;
+      total.steps += s.steps;
+      total.incomplete += s.incomplete;
+      total.restarted += s.restarted;
+      total.cold_incomplete += s.cold_incomplete;
+    }
+  }
+
+  avg.clients = num_clients;
+  avg.steps = total.steps;
+  avg.incomplete = total.incomplete;
+  avg.restarted = total.restarted;
+  avg.cold_incomplete = total.cold_incomplete;
+  if (total.steps > 0) {
+    const auto steps = static_cast<double>(total.steps);
+    avg.latency_bytes = static_cast<double>(total.latency_bytes) / steps;
+    avg.tuning_bytes = static_cast<double>(total.tuning_bytes) / steps;
+    avg.cold_latency_bytes =
+        static_cast<double>(total.cold_latency_bytes) / steps;
+    avg.cold_tuning_bytes =
+        static_cast<double>(total.cold_tuning_bytes) / steps;
+  }
+  return avg;
+}
+
+}  // namespace
+
+TrajectoryWorkload MakeTrajectoryWorkload(
+    QueryKind kind, size_t num_clients, size_t steps,
+    const datasets::TrajectoryParams& params, const common::Rect& universe,
+    uint64_t seed) {
+  TrajectoryWorkload wl;
+  wl.kind = kind;
+  wl.universe = universe;
+  wl.clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    wl.clients.push_back(
+        datasets::MakeTrajectory(steps, universe, params, MixSeed(seed, c)));
+  }
+  return wl;
+}
+
+TrajectoryMetrics RunTrajectories(const air::AirIndexHandle& index,
+                                  const TrajectoryWorkload& workload,
+                                  const TrajectoryOptions& options) {
+  // A static broadcast is a one-generation schedule (byte-identical to the
+  // single-program session; the generation stamp stays 0 throughout).
+  return RunTrajectoriesImpl({&index}, {1}, workload, options);
+}
+
+TrajectoryMetrics RunTrajectories(const GenerationalIndex& index,
+                                  const TrajectoryWorkload& workload,
+                                  const TrajectoryOptions& options) {
+  return RunTrajectoriesImpl(index.generations, index.cycles, workload,
+                             options);
+}
+
+}  // namespace dsi::sim

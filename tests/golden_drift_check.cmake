@@ -1,0 +1,64 @@
+# Golden-drift guard, run as a ctest (see CMakeLists.txt):
+#
+#   cmake -DGOLDEN_GEN=<golden_gen binary> \
+#         -DGOLDEN_SOURCE=<tests/golden_equivalence_test.cpp> \
+#         -DWORK_DIR=<scratch dir> -P golden_drift_check.cmake
+#
+# Re-runs tools/golden_gen into a scratch dir and fails on ANY difference
+# against the golden table checked into the test source: every regenerated
+# row must appear verbatim, and the source must not carry extra (stale)
+# rows. This is how silent golden regeneration drift — an engine change
+# that shifts simulated behavior together with a quietly refreshed table —
+# is kept from landing: the committed table must be exactly what the
+# committed engine produces.
+
+foreach(var GOLDEN_GEN GOLDEN_SOURCE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+execute_process(
+  COMMAND "${GOLDEN_GEN}"
+  OUTPUT_VARIABLE regen
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "golden_gen exited with ${rc}")
+endif()
+# Keep the regenerated table on disk for side-by-side inspection.
+file(WRITE "${WORK_DIR}/golden_regen.txt" "${regen}")
+file(READ "${GOLDEN_SOURCE}" source)
+
+set(nregen 0)
+string(REPLACE "\n" ";" lines "${regen}")
+foreach(line IN LISTS lines)
+  if(line STREQUAL "")
+    continue()
+  endif()
+  math(EXPR nregen "${nregen} + 1")
+  string(FIND "${source}" "${line}" idx)
+  if(idx EQUAL -1)
+    message(FATAL_ERROR
+      "golden drift: regenerated row is not in the checked-in table:\n"
+      "  ${line}\n"
+      "The engine's simulated behavior changed. Either fix the regression "
+      "or (for a deliberate behavior change) update the table in "
+      "tests/golden_equivalence_test.cpp in the same commit, explaining "
+      "why. Full regenerated table: ${WORK_DIR}/golden_regen.txt")
+  endif()
+endforeach()
+
+# No stale leftovers: the source must hold exactly as many rows as the
+# generator emits (a row count mismatch means rows were hand-kept that the
+# current golden_gen no longer produces, or configs were dropped).
+string(REGEX MATCHALL "\n    {\"" source_rows "${source}")
+list(LENGTH source_rows nsource)
+if(NOT nsource EQUAL nregen)
+  message(FATAL_ERROR
+    "golden drift: tests/golden_equivalence_test.cpp holds ${nsource} "
+    "table rows but tools/golden_gen emits ${nregen} "
+    "(regenerated table: ${WORK_DIR}/golden_regen.txt)")
+endif()
+
+message(STATUS "goldens in sync: ${nregen} rows match bit for bit")

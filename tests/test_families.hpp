@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file test_families.hpp
+/// \brief Shared test fixture: all four index families built over one
+/// object set behind their AirIndexHandle fronts, so cross-family tests
+/// (trajectory parity, metamorphic battery) iterate one handle list
+/// instead of repeating the construction boilerplate.
+
+#include <vector>
+
+#include "air/dsi_handle.hpp"
+#include "air/exp_handle.hpp"
+#include "air/hci_handle.hpp"
+#include "air/rtree_handle.hpp"
+#include "datasets/datasets.hpp"
+#include "dsi/index.hpp"
+#include "hci/hci.hpp"
+#include "hilbert/space_mapper.hpp"
+#include "rtree/rtree_air.hpp"
+
+namespace dsi::test {
+
+/// All four families over one object set (plus the shared mapper).
+struct Families {
+  hilbert::SpaceMapper mapper;
+  core::DsiIndex dsi;
+  rtree::RtreeIndex rtree;
+  hci::HciIndex hci;
+  air::DsiHandle dsi_h;
+  air::RtreeHandle rtree_h;
+  air::HciHandle hci_h;
+  air::ExpHandle exp_h;
+
+  explicit Families(const std::vector<datasets::SpatialObject>& objects,
+                    uint32_t m = 1, size_t capacity = 64, int order = 6)
+      : mapper(datasets::UnitUniverse(), order),
+        dsi(objects, mapper, capacity,
+            [m] {
+              core::DsiConfig c;
+              c.num_segments = m;
+              return c;
+            }()),
+        rtree(objects, capacity),
+        hci(objects, mapper, capacity),
+        dsi_h(dsi),
+        rtree_h(rtree),
+        hci_h(hci),
+        exp_h(objects, mapper, capacity) {}
+
+  std::vector<const air::AirIndexHandle*> handles() const {
+    return {&dsi_h, &rtree_h, &hci_h, &exp_h};
+  }
+};
+
+}  // namespace dsi::test

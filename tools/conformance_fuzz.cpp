@@ -4,7 +4,10 @@
 /// Sweep mode (default) replays seed-determined conformance cases — all
 /// four index families, lossy channels, reorganized broadcasts, dynamic
 /// multi-generation broadcasts with update streams, duplicate-heavy
-/// datasets, degenerate queries — against brute-force oracles:
+/// datasets, degenerate queries, and continuous moving-client tours
+/// (persistent warm clients checked for result parity against fresh cold
+/// clients at every step, plus the per-query tuning <= latency audit) —
+/// against brute-force oracles:
 ///
 ///   conformance_fuzz --seeds=200 [--start=0] [--families=dsi,hci]
 ///       [--min-generations=3] [--min-updates=2]
@@ -107,6 +110,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     else if (key == "--generations") args->base.generations = static_cast<uint32_t>(u64());
     else if (key == "--updates") args->base.updates_per_gen = static_cast<uint32_t>(u64());
     else if (key == "--gen-cycles") args->base.gen_cycles = static_cast<uint32_t>(u64());
+    else if (key == "--traj-clients") args->base.trajectory_clients = static_cast<uint32_t>(u64());
+    else if (key == "--traj-steps") args->base.trajectory_steps = static_cast<uint32_t>(u64());
     else if (key == "--min-generations") args->min_generations = static_cast<uint32_t>(u64());
     else if (key == "--min-updates") args->min_updates = static_cast<uint32_t>(u64());
     else {
@@ -169,6 +174,24 @@ ConformanceCase Shrink(ConformanceCase c,
   while (c.generations > 1 && c.updates_per_gen > 1) {
     ConformanceCase candidate = c;
     candidate.updates_per_gen = c.updates_per_gen / 2;
+    if (!fails(candidate)) break;
+    c = candidate;
+  }
+  // No moving clients, then shorter tours.
+  if (c.trajectory_clients > 0) {
+    ConformanceCase candidate = c;
+    candidate.trajectory_clients = 0;
+    candidate.trajectory_steps = 0;
+    if (fails(candidate)) c = candidate;
+  }
+  while (c.trajectory_clients > 1 || c.trajectory_steps > 2) {
+    ConformanceCase candidate = c;
+    candidate.trajectory_clients = std::max<uint32_t>(1, c.trajectory_clients / 2);
+    candidate.trajectory_steps = std::max<uint32_t>(2, c.trajectory_steps / 2);
+    if (candidate.trajectory_clients == c.trajectory_clients &&
+        candidate.trajectory_steps == c.trajectory_steps) {
+      break;
+    }
     if (!fails(candidate)) break;
     c = candidate;
   }
