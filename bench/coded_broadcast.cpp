@@ -1,0 +1,91 @@
+/// Coded-broadcast sweep: redundancy rate vs. link-error rate for all four
+/// families. The server appends (group, parity) erasure groups to each
+/// cycle (see broadcast/coding.hpp) and clients repair lost buckets in
+/// place from any d-of-(d+p) surviving group symbols instead of waiting a
+/// full cycle per loss.
+///
+/// Columns: access latency in CYCLES of the program actually on air (the
+/// coded cycle is longer — parity is padded to each group's largest
+/// member, 2-3x on mixed table/object layouts — so cycle laps, not raw
+/// bytes, are the comparable latency unit across redundancy levels),
+/// tuning in bytes, watchdog-aborted queries, and parity repairs.
+///
+/// Expected shape: laps collapse toward the clean baseline as redundancy
+/// grows — at theta = 0.5 a (2,2) code cuts laps 2-3x vs. uncoded and
+/// completes every query; uncoded stays complete only by paying a
+/// full-cycle retry per unrecovered loss. Tuning rises with theta (repair
+/// listens) and incompletes stay 0 through theta = 0.7 for every coded
+/// config.
+
+#include <iostream>
+#include <string>
+
+#include "air/exp_handle.hpp"
+#include "bench_common.hpp"
+#include "broadcast/coding.hpp"
+#include "sim/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsi;
+  const bench::Options opt = bench::ParseOptions(argc, argv);
+  const auto objects = bench::MakeDataset(opt);
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(),
+                                    bench::OrderFor(opt));
+  constexpr size_t kCapacity = 64;
+  const auto windows = sim::MakeWindowWorkload(
+      opt.queries, 0.1, datasets::UnitUniverse(), opt.seed + 1);
+
+  const core::DsiIndex dsi(objects, mapper, kCapacity,
+                           bench::DsiReorganized());
+  const rtree::RtreeIndex rt(objects, kCapacity);
+  const hci::HciIndex hci(objects, mapper, kCapacity);
+  const air::DsiHandle hd(dsi);
+  const air::RtreeHandle hr(rt);
+  const air::HciHandle hh(hci);
+  const air::ExpHandle he(objects, mapper, kCapacity);
+
+  std::cout << "Coded broadcast: redundancy vs. link-error rate ("
+            << (opt.real ? "REAL-like" : "UNIFORM") << ", " << objects.size()
+            << " objects, capacity=64B, " << opt.queries
+            << " window queries, per-bucket loss model)\n\n";
+
+  const broadcast::CodingConfig kConfigs[] = {
+      {0, 0}, {4, 1}, {2, 1}, {2, 2}};
+  auto win = sim::Workload::Window(windows, 0.0,
+                                   broadcast::ErrorMode::kPerBucketLoss);
+
+  sim::TablePrinter t({"Index/code", "theta", "LatCycles", "TunBytes",
+                       "Incomplete", "Repaired"});
+  t.PrintHeader();
+  struct Row {
+    const char* name;
+    const air::AirIndexHandle* handle;
+  };
+  for (const Row& row : {Row{"DSI", &hd}, Row{"Rtree", &hr}, Row{"HCI", &hh},
+                         Row{"Exp", &he}}) {
+    for (const broadcast::CodingConfig& code : kConfigs) {
+      const auto on_air =
+          broadcast::MakeCodedProgram(row.handle->program(), code);
+      const double cycle = static_cast<double>(on_air.cycle_bytes());
+      const std::string label =
+          std::string(row.name) + " (" + std::to_string(code.group) + "," +
+          std::to_string(code.parity) + ")";
+      for (const double theta : {0.0, 0.2, 0.5, 0.7}) {
+        win.theta = theta;
+        auto ropt = bench::Par(opt.seed + 3);
+        ropt.coding = code;
+        const auto m = sim::RunWorkload(*row.handle, win, ropt);
+        t.PrintRow(label, theta, m.latency_bytes / cycle, m.tuning_bytes,
+                   static_cast<double>(m.incomplete),
+                   static_cast<double>(m.repaired));
+      }
+    }
+  }
+  std::cout << "\nReading guide: (0,0) is today's uncoded broadcast; its "
+               "only loss recovery is the next-cycle retry. Higher "
+               "redundancy trades parity airtime (a longer cycle, so more "
+               "bytes per lap) for fewer laps and in-place repairs; at "
+               "extreme theta it is what keeps every query completing "
+               "inside its watchdog budget.\n";
+  return 0;
+}

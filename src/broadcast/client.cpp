@@ -1,18 +1,38 @@
 #include "broadcast/client.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace dsi::broadcast {
 
 namespace {
 
 /// SplitMix64 finalizer; decorrelates (channel seed, bucket instance) pairs
-/// into independent uniform draws for the kPerBucketLoss coin.
+/// into independent uniform draws for the kPerBucketLoss/kBurstLoss coins.
 uint64_t MixBits(uint64_t z) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
   return z ^ (z >> 31);
 }
+
+/// Uniform double in [0, 1) from a hash, at the 2^-53 granularity of the
+/// double mantissa (the same mapping the kPerBucketLoss coin uses).
+double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// kBurstLoss channel-weather parameters: bursts average kBurstMeanPackets
+/// of corrupted air time (a couple of typical buckets — long enough to take
+/// out adjacent group members, the adversarial case for interleaved
+/// parity), truncated at kBurstMaxPackets so an instance's fate only
+/// depends on a bounded window of onset candidates.
+constexpr double kBurstMeanPackets = 24.0;
+constexpr uint64_t kBurstMaxPackets = 96;
+/// Domain-separation salts for the two per-packet burst draws (onset,
+/// length).
+constexpr uint64_t kBurstOnsetSalt = 0xB0B57A57A57ull;
+constexpr uint64_t kBurstLengthSalt = 0x1E46775C0DEull;
 
 }  // namespace
 
@@ -57,9 +77,37 @@ void ClientSession::ArmErrorModel() {
         tune_in_ + static_cast<uint64_t>(rng_.UniformInt(
                        0, static_cast<int64_t>(program_->cycle_packets()) - 1));
   }
-  if (errors_.mode == ErrorMode::kPerBucketLoss) {
+  // The channel-keyed modes own a per-session channel seed (shared with
+  // ForkColdSession clones: one physical channel, one weather pattern).
+  if (errors_.mode == ErrorMode::kPerBucketLoss ||
+      errors_.mode == ErrorMode::kBurstLoss) {
     channel_seed_ = rng_.engine()();
   }
+}
+
+size_t ClientSession::PhysSlot(size_t data_slot) const {
+  if (!program_->coded()) return data_slot;
+  // Every full group of g data buckets is followed by p parity buckets, so
+  // a data slot shifts right by p per completed group before it.
+  const size_t g = program_->coding_group();
+  return data_slot + (data_slot / g) * program_->coding_parity();
+}
+
+size_t ClientSession::PhysToData(size_t phys_slot) const {
+  if (!program_->coded()) return phys_slot;
+  const size_t stride =
+      static_cast<size_t>(program_->coding_group()) + program_->coding_parity();
+  const size_t group = phys_slot / stride;
+  assert(phys_slot - group * stride <
+         static_cast<size_t>(program_->coding_group()));
+  return group * program_->coding_group() + (phys_slot - group * stride);
+}
+
+uint64_t ClientSession::PhysWait(size_t phys_slot) const {
+  const uint64_t cycle = program_->cycle_packets();
+  const uint64_t pos = (now_ - gen_start_) % cycle;
+  const uint64_t start = program_->bucket(phys_slot).start_packet;
+  return start >= pos ? start - pos : cycle - pos + start;
 }
 
 void ClientSession::ParkAtNextBoundary() {
@@ -72,10 +120,15 @@ void ClientSession::ParkAtNextBoundary() {
     }
     const uint64_t cycle = program_->cycle_packets();
     const uint64_t pos = (now_ - gen_start_) % cycle;
-    const size_t slot = program_->SlotStartingAtOrAfter(pos);
+    size_t slot = program_->SlotStartingAtOrAfter(pos);
+    // Parity symbols are no tune-in target: park on the next DATA bucket
+    // boundary, dozing over any parity tail in between (parity sits only
+    // between groups, so nothing a client could want goes by).
+    while (program_->bucket(slot).kind == BucketKind::kParity) {
+      slot = slot + 1 < program_->num_buckets() ? slot + 1 : 0;
+    }
     const uint64_t start = program_->bucket(slot).start_packet;
-    const uint64_t delta =
-        (slot == 0 && start < pos) ? (cycle - pos) + start : start - pos;
+    const uint64_t delta = start >= pos ? start - pos : (cycle - pos) + start;
     // A wrap to the next cycle can land exactly on a republication instant:
     // the boundary then belongs to the incoming generation — re-sync and
     // park on ITS first bucket (offset 0 of the new program, so the next
@@ -85,7 +138,7 @@ void ClientSession::ParkAtNextBoundary() {
       continue;
     }
     AdvanceTo(now_ + delta);
-    current_slot_ = slot;
+    current_slot_ = PhysToData(slot);
     return;
   }
 }
@@ -135,10 +188,7 @@ ClientSession ClientSession::ForkColdSession(uint64_t tune_in_packet,
 
 uint64_t ClientSession::PacketsUntil(size_t slot) const {
   assert(probed_);
-  const uint64_t cycle = program_->cycle_packets();
-  const uint64_t pos = (now_ - gen_start_) % cycle;
-  const uint64_t start = program_->bucket(slot).start_packet;
-  return start >= pos ? start - pos : cycle - pos + start;
+  return PhysWait(PhysSlot(slot));
 }
 
 void ClientSession::DozeTo(size_t slot) {
@@ -147,6 +197,39 @@ void ClientSession::DozeTo(size_t slot) {
 }
 
 bool ClientSession::ReadBucket(size_t slot) {
+  // Coded broadcasts: the erasure-decode buffer may already hold an intact
+  // copy of this bucket — heard as a group symbol during a repair of a
+  // neighbor, or reconstructed by one. Serving it from the buffer costs no
+  // airtime at all (the radio stays off; the clock does not move), which
+  // is exactly what keeps sequential scans affordable when a repair has
+  // consumed the airings the scan was about to read.
+  if (program_->coded()) {
+    const size_t phys = PhysSlot(slot);
+    const size_t stride =
+        program_->coding_group() + program_->coding_parity();
+    const size_t member = phys - (phys / stride) * stride;
+    if (heard_group_ == phys / stride && heard_gen_ == generation_) {
+      if (((heard_mask_ >> member) & 1) != 0) {
+        current_slot_ = (slot + 1) % program_->num_data_buckets();
+        return true;
+      }
+      // Negative buffer hit: this occurrence's airing was already listened
+      // to (by a repair tail) and lost. Try to decode it from what the
+      // buffer holds; otherwise fail NOW — zero listens, zero airtime — so
+      // scan-style callers defer the slot instead of blocking a full cycle
+      // for an airing the client knows is gone. One-shot: the bit clears,
+      // so a deliberate blocking retry dozes to the next airing like any
+      // plain loss and time always progresses.
+      if (((lost_mask_ >> member) & 1) != 0) {
+        if (TryRepair(slot, heard_occ_)) {
+          ++repaired_;
+          return true;
+        }
+        lost_mask_ &= ~(uint64_t{1} << member);
+        return false;
+      }
+    }
+  }
   // Dynamic broadcast: the aimed-at occurrence may lie past the end of the
   // synchronized generation, i.e. it will never air. The client cannot know
   // in advance — it dozes to where it believed the bucket would start,
@@ -165,59 +248,251 @@ bool ClientSession::ReadBucket(size_t slot) {
     return false;
   }
   DozeTo(slot);
-  const Bucket& b = program_->bucket(slot);
+  const size_t phys = PhysSlot(slot);
+  const Bucket& b = program_->bucket(phys);
   const uint64_t listen_start = now_;
   Listen(b.packets);
-  // Park on the next bucket boundary.
-  current_slot_ = (slot + 1) % program_->num_buckets();
-  bool lost = false;
+  // Park on the next (data) bucket boundary. On a coded cycle the group's
+  // parity may air next; the session rests here and every later operation
+  // dozes over it on demand.
+  current_slot_ = (slot + 1) % program_->num_data_buckets();
+  const bool lost = DrawLoss(phys, listen_start, b.packets);
+  if (trace_ != nullptr) {
+    trace_->push_back(
+        TraceEvent{TraceEvent::Kind::kListen, listen_start, now_, slot, lost});
+  }
+  if (!lost) {
+    NoteHeard(phys, listen_start);  // feed the erasure-decode buffer
+    return true;
+  }
+  if (program_->coded()) {
+    NoteLost(phys, listen_start);
+    const uint64_t occ =
+        (listen_start - gen_start_) / program_->cycle_packets();
+    if (TryRepair(slot, occ)) {
+      ++repaired_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ClientSession::DrawLoss(size_t phys_slot, uint64_t listen_start,
+                             uint64_t packets) {
   switch (errors_.mode) {
     case ErrorMode::kPerReadLoss:
-      lost = rng_.Bernoulli(errors_.theta);
-      break;
+      return rng_.Bernoulli(errors_.theta);
     case ErrorMode::kSingleEvent:
       // The error burst corrupts the first bucket the client listens to at
       // or after the event instant (a burst while dozing damages whatever
       // is read next once the receiver wakes into the degraded channel).
       if (event_armed_ && event_packet_ < now_) {
-        lost = true;
         event_armed_ = false;
+        return true;
       }
-      break;
+      return false;
     case ErrorMode::kPerBucketLoss: {
       // The coin belongs to the on-air instance: the generation-relative
       // cycle number of the listen start (the session is parked on the
-      // bucket boundary when the listen begins) paired with the slot,
-      // hashed against the channel seed. Generations past the first salt
-      // the key so a republished layout rolls fresh coins; generation 0
-      // reproduces the static formula exactly. 2^-53 granularity matches
+      // bucket boundary when the listen begins) paired with the physical
+      // slot, hashed against the channel seed. Generations past the first
+      // salt the key so a republished layout rolls fresh coins; generation
+      // 0 reproduces the static formula exactly. 2^-53 granularity matches
       // the double mantissa.
       const uint64_t cycle_index =
           (listen_start - gen_start_) / program_->cycle_packets();
-      uint64_t key = cycle_index * program_->num_buckets() + slot;
+      uint64_t key = cycle_index * program_->num_buckets() + phys_slot;
       if (generation_ != 0) key ^= MixBits(generation_);
       const uint64_t h = MixBits(channel_seed_ ^ MixBits(key));
-      lost = static_cast<double>(h >> 11) * 0x1.0p-53 < errors_.theta;
-      break;
+      return HashToUnit(h) < errors_.theta;
+    }
+    case ErrorMode::kBurstLoss:
+      return BurstLost(listen_start, packets);
+  }
+  return false;
+}
+
+bool ClientSession::BurstLost(uint64_t start, uint64_t packets) const {
+  if (errors_.theta <= 0.0) return false;
+  if (errors_.theta >= 1.0) return true;
+  // Burst onsets form a hashed Bernoulli process over absolute packet time
+  // with rate chosen so the stationary covered fraction is theta: a packet
+  // is burst-free iff no onset within the preceding mean burst length,
+  // P(clear) = (1 - rate)^len ~= exp(-rate * len) = 1 - theta.
+  const double rate =
+      std::min(1.0, -std::log1p(-errors_.theta) / kBurstMeanPackets);
+  const uint64_t first_onset =
+      start > kBurstMaxPackets ? start - kBurstMaxPackets : 0;
+  for (uint64_t t = first_onset; t < start + packets; ++t) {
+    const uint64_t h_on =
+        MixBits(channel_seed_ ^ MixBits(t) ^ kBurstOnsetSalt);
+    if (HashToUnit(h_on) >= rate) continue;
+    // An onset at t: draw its (truncated geometric-like) length and test
+    // overlap with the listened interval [start, start + packets).
+    const uint64_t h_len =
+        MixBits(channel_seed_ ^ MixBits(t) ^ kBurstLengthSalt);
+    uint64_t len = 1 + static_cast<uint64_t>(-std::log1p(-HashToUnit(h_len)) *
+                                             (kBurstMeanPackets - 1.0));
+    len = std::min(len, kBurstMaxPackets);
+    if (t + len > start) return true;
+  }
+  return false;
+}
+
+void ClientSession::NoteHeard(size_t phys_slot, uint64_t listen_start) {
+  if (!program_->coded()) return;
+  const size_t stride = program_->coding_group() + program_->coding_parity();
+  const size_t group = phys_slot / stride;
+  const size_t member = phys_slot - group * stride;
+  const uint64_t occ =
+      (listen_start - gen_start_) / program_->cycle_packets();
+  if (heard_group_ != group || heard_occ_ != occ ||
+      heard_gen_ != generation_) {
+    // The buffer holds one group of one cycle occurrence: crossing into a
+    // new group (the sequential case), a later cycle (a retry) or a new
+    // generation (republished layout) drops the stale symbols.
+    heard_group_ = group;
+    heard_occ_ = occ;
+    heard_gen_ = generation_;
+    heard_mask_ = 0;
+    lost_mask_ = 0;
+  }
+  heard_mask_ |= uint64_t{1} << member;
+  lost_mask_ &= ~(uint64_t{1} << member);
+}
+
+void ClientSession::NoteLost(size_t phys_slot, uint64_t listen_start) {
+  if (!program_->coded()) return;
+  const size_t stride = program_->coding_group() + program_->coding_parity();
+  const size_t group = phys_slot / stride;
+  const size_t member = phys_slot - group * stride;
+  const uint64_t occ =
+      (listen_start - gen_start_) / program_->cycle_packets();
+  if (heard_group_ != group || heard_occ_ != occ ||
+      heard_gen_ != generation_) {
+    heard_group_ = group;
+    heard_occ_ = occ;
+    heard_gen_ = generation_;
+    heard_mask_ = 0;
+    lost_mask_ = 0;
+  }
+  lost_mask_ |= uint64_t{1} << member;
+}
+
+bool ClientSession::TryRepair(size_t data_slot, uint64_t occ) {
+  const size_t g = program_->coding_group();
+  const size_t p = program_->coding_parity();
+  const size_t n = program_->num_data_buckets();
+  const size_t group = data_slot / g;
+  const size_t d = std::min(g, n - group * g);  // short wrap-around group
+  const size_t base = group * (g + p);  // physical slot of the first member
+  const size_t members = d + p;
+  const size_t target = data_slot - group * g;
+  const uint64_t cycle = program_->cycle_packets();
+  const Bucket& lost_bucket = program_->bucket(base + target);
+  const uint64_t occ_start = gen_start_ + occ * cycle;
+
+  // Symbols of this group the client already holds from this occurrence
+  // (free — they were listened to as ordinary reads). The target's own bit
+  // never counts: this airing of it was lost.
+  uint64_t have = 0;
+  if (heard_group_ == group && heard_occ_ == occ &&
+      heard_gen_ == generation_) {
+    have = heard_mask_ & ~(uint64_t{1} << target);
+  }
+  size_t collected = 0;
+  for (size_t m = 0; m < members; ++m) collected += (have >> m) & 1;
+
+  // The in-flight tail: group symbols of this occurrence that have not
+  // aired yet. If buffered + in-flight symbols cannot reach d, the group
+  // is unrecoverable this cycle — fail fast with ZERO extra listens, so a
+  // hopeless repair costs exactly what the uncoded retry path costs.
+  size_t in_flight = 0;
+  for (size_t m = 0; m < members; ++m) {
+    if ((have >> m) & 1) continue;
+    if (m == target) continue;  // its airing just passed (the lost read)
+    if (occ_start + program_->bucket(base + m).start_packet >= now_) {
+      ++in_flight;
     }
   }
-  if (trace_ != nullptr) {
-    trace_->push_back(
-        TraceEvent{TraceEvent::Kind::kListen, listen_start, now_, slot, lost});
+  bool recovered = collected >= d;  // decode from the buffer alone
+  if (!recovered && collected + in_flight < d) {
+    return false;  // session state untouched: parked exactly as a plain loss
   }
-  return !lost;
+
+  // Listen to the in-flight symbols in broadcast order until the decode
+  // closes. Everything happens inside this occurrence — the repair never
+  // dozes across the cycle, so its worst case is the group's own span.
+  for (size_t m = 0; !recovered && m < members; ++m) {
+    if ((have >> m) & 1) continue;
+    if (m == target) continue;
+    const Bucket& b = program_->bucket(base + m);
+    const uint64_t start = occ_start + b.start_packet;
+    if (start < now_) continue;  // already aired before the loss
+    // Parity groups die with their generation: an airing at or past the
+    // republication instant does not exist — fall back to the caller's
+    // retry, which will hear the new generation stamp and resynchronize.
+    if (start >= gen_end_) break;
+    // Fail fast mid-tail too: the remaining symbols cannot close the gap.
+    size_t remaining = 0;
+    for (size_t r = m; r < members; ++r) {
+      if (((have >> r) & 1) == 0 && r != target) ++remaining;
+    }
+    if (collected + remaining < d) break;
+    AdvanceTo(start);
+    const uint64_t listen_start = now_;
+    Listen(b.packets);
+    const bool lost = DrawLoss(base + m, listen_start, b.packets);
+    if (trace_ != nullptr) {
+      trace_->push_back(TraceEvent{TraceEvent::Kind::kRepair, listen_start,
+                                   now_, base + m, lost});
+    }
+    if (lost) {
+      NoteLost(base + m, listen_start);
+      continue;
+    }
+    have |= uint64_t{1} << m;
+    NoteHeard(base + m, listen_start);
+    if (++collected >= d) recovered = true;  // d-of-(d+p): decode closes
+  }
+  if (recovered) {
+    // d intact symbols determine the WHOLE group, not just the target:
+    // credit every member, so sibling reads whose airings this repair
+    // consumed (the scan's next buckets) are served from the buffer
+    // instead of waiting a cycle for airings the client already spent
+    // tuning time on.
+    NoteHeard(base + target, occ_start + lost_bucket.start_packet);
+    heard_mask_ =
+        members >= 64 ? ~uint64_t{0} : (uint64_t{1} << members) - 1;
+    lost_mask_ = 0;
+  }
+  // Rest where the repair ended; the next data bucket to start (nothing but
+  // parity can sit in between) is the parked slot, exactly like the tail of
+  // a normal read.
+  const uint64_t pos = (now_ - gen_start_) % cycle;
+  size_t phys = program_->SlotStartingAtOrAfter(pos);
+  while (program_->bucket(phys).kind == BucketKind::kParity) {
+    phys = phys + 1 < program_->num_buckets() ? phys + 1 : 0;
+  }
+  current_slot_ = PhysToData(phys);
+  return recovered;
 }
 
 void ClientSession::SkipBucket() {
-  const Bucket& b = program_->bucket(current_slot_);
+  // On a coded cycle the session may rest ahead of the current data
+  // bucket's boundary (parity in flight): doze up to it first. Uncoded
+  // sessions are already parked there, so the doze is zero packets.
+  DozeTo(current_slot_);
+  const Bucket& b = program_->bucket(PhysSlot(current_slot_));
   AdvanceTo(now_ + b.packets);
-  current_slot_ = (current_slot_ + 1) % program_->num_buckets();
+  current_slot_ = (current_slot_ + 1) % program_->num_data_buckets();
 }
 
 Metrics ClientSession::metrics() const {
   Metrics m;
   m.access_latency_bytes = (now_ - tune_in_) * program_->packet_capacity();
   m.tuning_bytes = listened_packets_ * program_->packet_capacity();
+  m.repaired = repaired_;
   return m;
 }
 

@@ -23,6 +23,9 @@ namespace dsi::broadcast {
 struct Metrics {
   uint64_t access_latency_bytes = 0;  ///< Time from initial probe to done.
   uint64_t tuning_bytes = 0;          ///< Bytes actively listened to.
+  /// Lost bucket reads the session reconstructed from surviving group
+  /// members of an erasure-coded broadcast (always 0 on uncoded programs).
+  uint64_t repaired = 0;
 };
 
 /// How link errors (Section 5) are injected.
@@ -45,6 +48,16 @@ enum class ErrorMode : uint8_t {
   /// instance agree — the model a differential conformance harness needs.
   /// A retry in a later cycle is a new instance with a fresh coin.
   kPerBucketLoss,
+  /// Channel-deterministic correlated bursts (a Gilbert–Elliott-style bad
+  /// state): burst onsets and lengths are hashed from the channel seed and
+  /// ABSOLUTE packet time, and a bucket instance is lost iff any burst
+  /// overlaps its packets. Same determinism contract as kPerBucketLoss —
+  /// the fate of an instance is a pure function of (channel seed, airtime
+  /// interval), so forked cold sessions agree and retries in later cycles
+  /// see fresh weather. theta is the stationary fraction of air time under
+  /// a burst; consecutive buckets fail together — the adversarial case for
+  /// interleaved parity groups.
+  kBurstLoss,
 };
 
 /// Link-error injection parameters. theta = 0 is the lossless channel of
@@ -60,12 +73,16 @@ struct TraceEvent {
     kProbe,   ///< The initial synchronization listen.
     kDoze,    ///< Radio off, waiting for a bucket boundary.
     kListen,  ///< Actively receiving a bucket.
+    kRepair,  ///< Listening to a group symbol to reconstruct a lost bucket.
   };
   Kind kind = Kind::kDoze;
   uint64_t start_packet = 0;  ///< Global packet time, inclusive.
   uint64_t end_packet = 0;    ///< Global packet time, exclusive.
-  size_t slot = 0;            ///< Bucket slot for kListen events.
-  bool lost = false;          ///< kListen only: corrupted by a link error.
+  /// Bucket slot for kListen events (client data-slot space). For kRepair
+  /// events this is the PHYSICAL slot of the group symbol listened to —
+  /// data or parity — in the coded cycle.
+  size_t slot = 0;
+  bool lost = false;  ///< kListen/kRepair: corrupted by a link error.
 };
 
 /// One client's interaction with the periodically repeated program.
@@ -85,6 +102,19 @@ struct TraceEvent {
 /// learned state (index tables, tree nodes, anchors) points into a dead
 /// layout and must be discarded. Slot numbers from the old generation are
 /// meaningless after that instant; issue none until re-derived.
+///
+/// Erasure-coded broadcasts: when the program interleaves parity buckets
+/// (BroadcastProgram::coded(), see broadcast/coding.hpp) the session keeps
+/// presenting the DATA slot space to its caller — every slot parameter and
+/// every slot it reports refers to the data buckets in broadcast order, and
+/// the parity schedule learned from the packet header drives an internal
+/// data-to-physical translation. Query clients are coding-oblivious: a read
+/// that loses its bucket transparently listens to the group's remaining
+/// data+parity symbols still in flight (and, across later cycles, the ones
+/// already missed) and reconstructs the loss from any d-of-(d+p) survivors,
+/// charging exact tuning and latency bytes for every repair listen. Only
+/// when the group is unrecoverable (or dies with its generation) does the
+/// read return false and the caller fall back to its usual retry.
 class ClientSession {
  public:
   /// \param tune_in_packet Global packet index at which the client wakes up
@@ -108,16 +138,20 @@ class ClientSession {
   /// Global packet counter.
   uint64_t now_packets() const { return now_; }
 
-  /// Slot whose bucket starts exactly at the current time (valid after
-  /// InitialProbe: the session is always parked on a bucket boundary).
+  /// The next data bucket on air: its slot starts at the current time, or —
+  /// on a coded program, when parity symbols sit between now and it — the
+  /// session rests with nothing but parity in between (valid after
+  /// InitialProbe). Slot numbers are always DATA slots.
   size_t current_slot() const { return current_slot_; }
 
   /// Dozes until the next occurrence of \p slot (possibly now; wraps into
   /// the next cycle when the bucket has already gone by), then listens to
   /// all its packets.
-  /// \return true iff the bucket was received intact; on a link error the
+  /// \return true iff the bucket was received intact OR — on an
+  /// erasure-coded broadcast — reconstructed from surviving group symbols
+  /// (Metrics::repaired counts those); on an unrecoverable link error the
   /// tuning time and latency are still spent and the client is parked on
-  /// the next bucket boundary.
+  /// the next (data) bucket boundary.
   bool ReadBucket(size_t slot);
 
   /// Reads the bucket starting right now.
@@ -175,13 +209,56 @@ class ClientSession {
  private:
   void AdvanceTo(uint64_t target_packet);  // doze, no tuning cost
   void Listen(uint64_t packets);           // active listening
-  /// Shared constructor tail: arms kSingleEvent/kPerBucketLoss state with
-  /// identical draws for static and generational sessions.
+  /// Shared constructor tail: arms kSingleEvent/kPerBucketLoss/kBurstLoss
+  /// state with identical draws for static and generational sessions.
   void ArmErrorModel();
-  /// Re-syncs to the generation live now, then dozes to the next bucket
-  /// boundary of its program (chasing across further switch instants if
-  /// the boundary lands exactly on one). Sets current_slot_.
+  /// Re-syncs to the generation live now, then dozes to the next DATA
+  /// bucket boundary of its program (chasing across further switch instants
+  /// if the boundary lands exactly on one; dozing over any parity tail of a
+  /// coded cycle). Sets current_slot_.
   void ParkAtNextBoundary();
+
+  /// Physical slot of data slot \p data_slot in the on-air cycle (identity
+  /// on uncoded programs).
+  size_t PhysSlot(size_t data_slot) const;
+  /// Data slot of physical slot \p phys_slot (must be a data bucket).
+  size_t PhysToData(size_t phys_slot) const;
+  /// Doze distance from now to the next airing of physical slot
+  /// \p phys_slot (0 if it starts right now).
+  uint64_t PhysWait(size_t phys_slot) const;
+  /// One loss coin for the bucket instance of \p phys_slot whose listen
+  /// covered [listen_start, listen_start + packets). Consumes receiver
+  /// state for the receiver-local modes (kPerReadLoss rng draws, the
+  /// kSingleEvent one-shot); channel-keyed for kPerBucketLoss/kBurstLoss.
+  bool DrawLoss(size_t phys_slot, uint64_t listen_start, uint64_t packets);
+  /// kBurstLoss: whether any channel burst overlaps [start, start+packets).
+  bool BurstLost(uint64_t start, uint64_t packets) const;
+  /// Records that the client holds an intact copy of physical slot
+  /// \p phys_slot from the cycle occurrence containing \p listen_start:
+  /// the per-group symbol buffer a real receiver keeps for erasure
+  /// decoding. Tracks one (group, occurrence) at a time — the sequential
+  /// access pattern of every family — and no-ops on uncoded programs.
+  void NoteHeard(size_t phys_slot, uint64_t listen_start);
+  /// Records a listened-and-LOST airing of \p phys_slot in the same
+  /// per-group buffer (the negative counterpart of NoteHeard). A later
+  /// ReadBucket of that slot knows the occurrence's airing is gone without
+  /// waiting for it again and can fail immediately instead of blocking a
+  /// full cycle.
+  void NoteLost(size_t phys_slot, uint64_t listen_start);
+  /// Reconstruction path for a lost read of \p data_slot whose airing
+  /// belonged to cycle occurrence \p occ of the current generation.
+  /// Decodes from any d distinct intact symbols of the bucket's parity
+  /// group, combining (a) symbols already buffered from this occurrence
+  /// (NoteHeard — free, the client holds them) with (b) the group symbols
+  /// still IN FLIGHT in the same occurrence, listened in broadcast order.
+  /// Never dozes across the cycle: if the in-flight tail cannot reach d
+  /// symbols the repair fails fast with zero extra listens and the
+  /// caller's next-cycle retry proceeds exactly as uncoded. A closed
+  /// decode credits EVERY symbol of the group to the buffer (d intact
+  /// symbols determine them all), so sibling reads whose airings the
+  /// repair consumed are served for free. Leaves the session parked for
+  /// the next data bucket and returns whether the bucket was recovered.
+  bool TryRepair(size_t data_slot, uint64_t occ);
 
   const GenerationSchedule* schedule_ = nullptr;  // null for static sessions
   const BroadcastProgram* program_;
@@ -191,6 +268,7 @@ class ClientSession {
   uint64_t tune_in_;
   uint64_t now_;
   uint64_t listened_packets_ = 0;
+  uint64_t repaired_ = 0;  // lost reads reconstructed from parity groups
   size_t current_slot_ = 0;
   ErrorModel errors_;
   common::Rng rng_;
@@ -198,6 +276,14 @@ class ClientSession {
   bool event_armed_ = false;      // kSingleEvent: error not yet consumed
   uint64_t event_packet_ = 0;     // kSingleEvent: global corrupted packet
   uint64_t channel_seed_ = 0;     // kPerBucketLoss: per-session channel key
+  // Erasure-decode symbol buffer: which symbols of ONE parity group, in ONE
+  // cycle occurrence of ONE generation, the client holds intact copies of
+  // (heard_mask_) or has listened to and lost (lost_mask_).
+  size_t heard_group_ = SIZE_MAX;
+  uint64_t heard_occ_ = 0;
+  uint64_t heard_gen_ = 0;
+  uint64_t heard_mask_ = 0;
+  uint64_t lost_mask_ = 0;
   std::vector<TraceEvent>* trace_ = nullptr;
 };
 

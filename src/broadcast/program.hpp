@@ -25,6 +25,7 @@ enum class BucketKind : uint8_t {
   kDsiFrameTable,   ///< One DSI index table (one packet by construction).
   kIndexNode,       ///< A tree index node (R-tree or B+-tree).
   kDataObject,      ///< One spatial data object (1024 bytes).
+  kParity,          ///< Erasure-coding parity over a group of data buckets.
 };
 
 /// One bucket of the broadcast program.
@@ -85,11 +86,36 @@ class BroadcastProgram {
     finalized_ = true;
   }
 
+  /// Declares this program an erasure-coded broadcast (MakeCodedProgram is
+  /// the only caller): the first \p num_data buckets of every run of
+  /// \p group data buckets are followed by \p parity parity buckets. The
+  /// schedule is part of the packet header framing (next to the
+  /// bucket-boundary offset and generation stamp), which is how clients
+  /// learn it from a single probe — uncoded programs carry group() == 0 and
+  /// stay byte-identical on air.
+  void SetCodingSchedule(uint32_t group, uint32_t parity, size_t num_data) {
+    assert(!finalized_);
+    assert(group > 0 && parity > 0);
+    coding_group_ = group;
+    coding_parity_ = parity;
+    num_data_ = num_data;
+  }
+
   bool finalized() const { return finalized_; }
   size_t packet_capacity() const { return packet_capacity_; }
   size_t num_buckets() const { return buckets_.size(); }
   uint64_t cycle_packets() const { return cycle_packets_; }
   uint64_t cycle_bytes() const { return cycle_packets_ * packet_capacity_; }
+
+  /// True when the cycle interleaves parity buckets (see SetCodingSchedule).
+  bool coded() const { return coding_group_ > 0; }
+  uint32_t coding_group() const { return coding_group_; }
+  uint32_t coding_parity() const { return coding_parity_; }
+  /// Number of DATA buckets — the slot space query clients address; equals
+  /// num_buckets() for uncoded programs.
+  size_t num_data_buckets() const {
+    return coded() ? num_data_ : buckets_.size();
+  }
 
   const Bucket& bucket(size_t slot) const {
     assert(slot < buckets_.size());
@@ -107,6 +133,9 @@ class BroadcastProgram {
   size_t packet_capacity_;
   std::vector<Bucket> buckets_;
   uint64_t cycle_packets_ = 0;
+  uint32_t coding_group_ = 0;   // data buckets per parity group (0 = uncoded)
+  uint32_t coding_parity_ = 0;  // parity buckets per group
+  size_t num_data_ = 0;         // data bucket count when coded
   uint64_t slot_stride_ = 1;        // packets per stride-table entry
   std::vector<size_t> stride_slot_; // coarse packet -> slot table
   bool finalized_ = false;

@@ -188,7 +188,7 @@ void DsiClient::RunSearch(const RecomputeTargets& recompute_targets,
   session_->InitialProbe();
   generation_ = session_->generation();
   deadline_packets_ = session_->now_packets() +
-                      kWatchdogCycles * index_.program().cycle_packets();
+                      kWatchdogCycles * session_->program().cycle_packets();
   const uint64_t aggressive_deadline =
       session_->now_packets() +
       kAggressiveFallbackCycles * index_.program().cycle_packets();

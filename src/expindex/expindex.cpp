@@ -193,7 +193,7 @@ std::vector<uint32_t> ExpClient::RangeQuery(uint64_t lo, uint64_t hi) {
   // scans must not starve a later one into a phantom abort (the watchdog
   // exists to bound a *stuck* scan, not to cap useful work).
   deadline_packets_ = session_->now_packets() +
-                      kWatchdogCycles * index_.program().cycle_packets();
+                      kWatchdogCycles * session_->program().cycle_packets();
   std::vector<uint32_t> out;
   const auto first_table = ReadNextTable();
   if (!first_table) {

@@ -58,7 +58,7 @@ HciClient::HciClient(const HciIndex& index, broadcast::ClientSession* session)
   session_->InitialProbe();
   generation_ = session_->generation();
   deadline_packets_ = session_->now_packets() +
-                      kWatchdogCycles * index_.program().cycle_packets();
+                      kWatchdogCycles * session_->program().cycle_packets();
 }
 
 void HciClient::BeginQuery() {
@@ -66,7 +66,7 @@ void HciClient::BeginQuery() {
   stats_.completed = true;
   stats_.stale = false;
   deadline_packets_ = session_->now_packets() +
-                      kWatchdogCycles * index_.program().cycle_packets();
+                      kWatchdogCycles * session_->program().cycle_packets();
 }
 
 bool HciClient::WatchdogExpired() const {

@@ -31,7 +31,7 @@ RtreeClient::RtreeClient(const RtreeIndex& index,
   session_->InitialProbe();
   generation_ = session_->generation();
   deadline_packets_ = session_->now_packets() +
-                      kWatchdogCycles * index_.program().cycle_packets();
+                      kWatchdogCycles * session_->program().cycle_packets();
 }
 
 void RtreeClient::BeginQuery() {
@@ -39,7 +39,7 @@ void RtreeClient::BeginQuery() {
   stats_.completed = true;
   stats_.stale = false;
   deadline_packets_ = session_->now_packets() +
-                      kWatchdogCycles * index_.program().cycle_packets();
+                      kWatchdogCycles * session_->program().cycle_packets();
 }
 
 bool RtreeClient::WatchdogExpired() const {

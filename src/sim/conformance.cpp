@@ -29,8 +29,13 @@ const char* ModeName(broadcast::ErrorMode mode) {
     case broadcast::ErrorMode::kPerReadLoss: return "read";
     case broadcast::ErrorMode::kSingleEvent: return "event";
     case broadcast::ErrorMode::kPerBucketLoss: return "bucket";
+    case broadcast::ErrorMode::kBurstLoss: return "burst";
   }
   return "read";
+}
+
+broadcast::CodingConfig CaseCoding(const ConformanceCase& c) {
+  return broadcast::CodingConfig{c.code_group, c.code_parity};
 }
 
 /// The query mix of one case: window workload plus three kNN workloads.
@@ -198,6 +203,7 @@ void CheckWorkload(const std::vector<const air::AirIndexHandle*>& gens,
   opt.workers = c.workers;
   opt.heap_clients = c.heap_clients;
   opt.results = &results;
+  opt.coding = CaseCoding(c);
   AvgMetrics metrics;
   if (gens.size() == 1) {
     metrics = RunWorkload(*gens[0], wl, opt);
@@ -210,8 +216,18 @@ void CheckWorkload(const std::vector<const air::AirIndexHandle*>& gens,
   report->restarted += metrics.restarted;
 
   size_t counted_incomplete = 0;
+  size_t counted_repaired = 0;
   for (size_t i = 0; i < results.size(); ++i) {
     const QueryResult& r = results[i];
+    counted_repaired += r.repaired;
+    // Repairs exist only on a coded channel: an uncoded run reporting one
+    // means the engine invented parity out of thin air.
+    if (!opt.coding.enabled() && r.repaired != 0) {
+      report->divergences.push_back(
+          Divergence{family, workload_name, i,
+                     "repaired=" + std::to_string(r.repaired) +
+                         " on an uncoded channel"});
+    }
     // A client can never have listened longer than the whole query took:
     // tuning <= latency must hold for EVERY query (aborted ones included),
     // at every theta — not just on the workload averages.
@@ -264,12 +280,14 @@ void CheckWorkload(const std::vector<const air::AirIndexHandle*>& gens,
   // per-query flags at EVERY theta, total loss included — silent
   // undercounting is how aborted queries masquerade as answered.
   if (metrics.incomplete != counted_incomplete ||
-      metrics.queries != results.size()) {
+      metrics.queries != results.size() ||
+      metrics.repaired != counted_repaired) {
     std::ostringstream os;
     os << "aggregate accounting mismatch: AvgMetrics{queries="
        << metrics.queries << ", incomplete=" << metrics.incomplete
-       << "} vs results{n=" << results.size()
-       << ", incomplete=" << counted_incomplete << "}";
+       << ", repaired=" << metrics.repaired << "} vs results{n="
+       << results.size() << ", incomplete=" << counted_incomplete
+       << ", repaired=" << counted_repaired << "}";
     // Sentinel index one past the workload: this is a whole-run accounting
     // failure, not a defect of any individual query's result set.
     report->divergences.push_back(
@@ -318,6 +336,7 @@ void CheckTrajectories(const std::vector<const air::AirIndexHandle*>& gens,
   opt.heap_clients = c.heap_clients;
   opt.cold_baseline = true;
   opt.results = &results;
+  opt.coding = CaseCoding(c);
   TrajectoryMetrics m;
   if (gens.size() == 1) {
     m = RunTrajectories(*gens[0], wl, opt);
@@ -332,11 +351,21 @@ void CheckTrajectories(const std::vector<const air::AirIndexHandle*>& gens,
   size_t counted_incomplete = 0;
   size_t counted_cold_incomplete = 0;
   size_t counted_steps = 0;
+  size_t counted_repaired = 0;
+  size_t counted_cold_repaired = 0;
   for (size_t cl = 0; cl < results.size(); ++cl) {
     for (size_t s = 0; s < results[cl].size(); ++s) {
       const TrajectoryStep& step = results[cl][s];
       const size_t index = cl * c.trajectory_steps + s;
       ++counted_steps;
+      counted_repaired += step.warm.repaired;
+      counted_cold_repaired += step.cold.repaired;
+      if (!opt.coding.enabled() &&
+          (step.warm.repaired != 0 || step.cold.repaired != 0)) {
+        report->divergences.push_back(
+            Divergence{family, workload_name, index,
+                       "repaired step counters on an uncoded channel"});
+      }
       // Both paths go through the full per-result audit: byte invariant,
       // generation stamp, oracle of the stamped generation.
       struct Side {
@@ -418,13 +447,18 @@ void CheckTrajectories(const std::vector<const air::AirIndexHandle*>& gens,
   }
   if (m.incomplete != counted_incomplete ||
       m.cold_incomplete != counted_cold_incomplete ||
-      m.steps != counted_steps) {
+      m.steps != counted_steps || m.repaired != counted_repaired ||
+      m.cold_repaired != counted_cold_repaired) {
     std::ostringstream os;
     os << "trajectory accounting mismatch: TrajectoryMetrics{steps="
        << m.steps << ", incomplete=" << m.incomplete
-       << ", cold_incomplete=" << m.cold_incomplete << "} vs results{steps="
+       << ", cold_incomplete=" << m.cold_incomplete
+       << ", repaired=" << m.repaired
+       << ", cold_repaired=" << m.cold_repaired << "} vs results{steps="
        << counted_steps << ", incomplete=" << counted_incomplete
-       << ", cold_incomplete=" << counted_cold_incomplete << "}";
+       << ", cold_incomplete=" << counted_cold_incomplete
+       << ", repaired=" << counted_repaired
+       << ", cold_repaired=" << counted_cold_repaired << "}";
     report->divergences.push_back(
         Divergence{family, workload_name, counted_steps, os.str()});
   }
@@ -484,10 +518,19 @@ ConformanceCase MakeConformanceCase(uint64_t seed) {
   // mode, worker count, dynamic generations and the extreme-loss band
   // deterministically; the rest is random.
   c.m = static_cast<uint32_t>(1 + seed % 3);
-  switch ((seed / 3) % 3) {
+  switch ((seed / 3) % 4) {
     case 0: c.error_mode = broadcast::ErrorMode::kPerReadLoss; break;
     case 1: c.error_mode = broadcast::ErrorMode::kSingleEvent; break;
     case 2: c.error_mode = broadcast::ErrorMode::kPerBucketLoss; break;
+    case 3: c.error_mode = broadcast::ErrorMode::kBurstLoss; break;
+  }
+  // Coded channel on alternating seed blocks (seed arithmetic, not rng
+  // draws, so every other axis derivation is untouched): group sizes 2-4,
+  // parity 1-2 — covers XOR-style single parity, 2-erasure codes and the
+  // short wrap-around group whenever the cycle length is not a multiple.
+  if ((seed / 6) % 2 == 1) {
+    c.code_group = 2 + static_cast<uint32_t>(seed % 3);
+    c.code_parity = 1 + static_cast<uint32_t>((seed / 9) % 2);
   }
   // Theta: half the seeds are clean; lossy seeds mostly stay in the
   // must-complete band (<= 0.7), with a deterministic extreme-loss band in
@@ -647,6 +690,8 @@ std::string FormatReproducer(const ConformanceCase& c,
      << " --generations=" << c.generations
      << " --updates=" << c.updates_per_gen
      << " --gen-cycles=" << c.gen_cycles
+     << " --code-group=" << c.code_group
+     << " --code-parity=" << c.code_parity
      << " --traj-clients=" << c.trajectory_clients
      << " --traj-steps=" << c.trajectory_steps;
   if (!family.empty()) os << " --families=" << family;

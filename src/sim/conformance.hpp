@@ -78,6 +78,13 @@ struct ConformanceCase {
   /// are always appended.
   size_t knn_points = 2;
   size_t k = 8;  ///< Small-k value; a k >= n workload always runs too.
+  /// Server-side erasure coding (0/0 = uncoded, today's channel): parity
+  /// groups of code_group data buckets followed by code_parity parity
+  /// buckets. Coded cases run every workload over the coded channel; lost
+  /// reads repair in place and the harness audits the exact repaired
+  /// accounting (aggregate == sum of per-query counters, 0 when uncoded).
+  uint32_t code_group = 0;
+  uint32_t code_parity = 0;
   /// Continuous moving-client axis (sim::RunTrajectories): persistent
   /// warm clients re-evaluate along seed-determined trajectories while a
   /// fresh cold client re-runs every step at the same instant over the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -23,6 +24,7 @@ struct ShardSums {
   size_t queries = 0;
   size_t incomplete = 0;
   size_t restarted = 0;
+  size_t repaired = 0;
 };
 
 /// Builds query i's client over \p session (arena or heap per
@@ -59,13 +61,18 @@ void RecordResult(const Workload& wl, size_t i,
                         wl.kind == QueryKind::kKnn ? wl.points[i]
                                                    : common::Point{},
                         answer, completed, generation, restarts,
-                        m.access_latency_bytes, m.tuning_bytes,
+                        m.access_latency_bytes, m.tuning_bytes, m.repaired,
                         &(*results)[i]);
 }
 
-ShardSums RunShard(const air::AirIndexHandle& index, const Workload& wl,
-                   const RunOptions& options, size_t begin, size_t end) {
-  const broadcast::BroadcastProgram& program = index.program();
+ShardSums RunShard(const air::AirIndexHandle& index,
+                   const broadcast::BroadcastProgram& program,
+                   const Workload& wl, const RunOptions& options, size_t begin,
+                   size_t end) {
+  // \p program is what is actually on air: index.program() itself, or its
+  // coded re-emission when RunOptions::coding is enabled. Family clients
+  // keep addressing data slots either way.
+  //
   // One arena per pool thread, kept warm across shards AND RunWorkload
   // calls: every query constructs its client into recycled storage.
   thread_local air::ClientArena arena;
@@ -84,6 +91,7 @@ ShardSums RunShard(const air::AirIndexHandle& index, const Workload& wl,
     const broadcast::Metrics m = session.metrics();
     sums.latency_bytes += m.access_latency_bytes;
     sums.tuning_bytes += m.tuning_bytes;
+    sums.repaired += m.repaired;
     ++sums.queries;
     if (!client->stats().completed) ++sums.incomplete;
     if (options.results != nullptr) {
@@ -137,6 +145,7 @@ ShardSums RunGenerationalShard(const GenerationalIndex& index,
     const broadcast::Metrics m = session.metrics();
     sums.latency_bytes += m.access_latency_bytes;
     sums.tuning_bytes += m.tuning_bytes;
+    sums.repaired += m.repaired;
     ++sums.queries;
     if (!completed) ++sums.incomplete;
     if (restarts > 0) ++sums.restarted;
@@ -156,7 +165,7 @@ void CaptureResult(QueryKind kind, const common::Point& query_point,
                    const std::vector<datasets::SpatialObject>& answer,
                    bool completed, uint64_t generation, size_t restarts,
                    uint64_t latency_bytes, uint64_t tuning_bytes,
-                   QueryResult* out) {
+                   uint64_t repaired, QueryResult* out) {
   out->ids.clear();
   out->knn_distances.clear();
   out->ids.reserve(answer.size());
@@ -174,6 +183,7 @@ void CaptureResult(QueryKind kind, const common::Point& query_point,
   out->restarts = restarts;
   out->latency_bytes = latency_bytes;
   out->tuning_bytes = tuning_bytes;
+  out->repaired = repaired;
 }
 
 }  // namespace detail
@@ -187,6 +197,16 @@ AvgMetrics RunWorkload(const air::AirIndexHandle& index,
   // would underflow), and an empty workload has nothing to average.
   if (n == 0 || index.program().cycle_packets() == 0) return avg;
 
+  // Encode the on-air cycle once per run, not per query; shards share the
+  // (immutable) coded program. Disabled coding takes the index's own
+  // program by reference — no copy, byte-identical to the uncoded engine.
+  std::optional<broadcast::BroadcastProgram> coded;
+  if (options.coding.enabled()) {
+    coded.emplace(MakeCodedProgram(index.program(), options.coding));
+  }
+  const broadcast::BroadcastProgram& on_air =
+      coded.has_value() ? *coded : index.program();
+
   size_t workers =
       options.workers != 0
           ? options.workers
@@ -195,7 +215,7 @@ AvgMetrics RunWorkload(const air::AirIndexHandle& index,
 
   ShardSums total;
   if (workers <= 1) {
-    total = RunShard(index, workload, options, 0, n);
+    total = RunShard(index, on_air, workload, options, 0, n);
   } else {
     // Shard boundaries depend only on (n, workers); per-query seeds depend
     // only on the query index, so any worker count reproduces the serial
@@ -205,18 +225,20 @@ AvgMetrics RunWorkload(const air::AirIndexHandle& index,
     WorkerPool::Instance().Run(workers, [&](size_t w) {
       const size_t begin = n * w / workers;
       const size_t end = n * (w + 1) / workers;
-      shard_sums[w] = RunShard(index, workload, options, begin, end);
+      shard_sums[w] = RunShard(index, on_air, workload, options, begin, end);
     });
     for (const ShardSums& s : shard_sums) {
       total.latency_bytes += s.latency_bytes;
       total.tuning_bytes += s.tuning_bytes;
       total.queries += s.queries;
       total.incomplete += s.incomplete;
+      total.repaired += s.repaired;
     }
   }
 
   avg.queries = total.queries;
   avg.incomplete = total.incomplete;
+  avg.repaired = total.repaired;
   if (total.queries > 0) {
     avg.latency_bytes = static_cast<double>(total.latency_bytes) /
                         static_cast<double>(total.queries);
@@ -239,9 +261,23 @@ AvgMetrics GenerationalRun(const GenerationalIndex& index,
   }
   if (n == 0) return avg;
 
+  // Each generation is encoded independently: parity groups die with their
+  // generation, and a republication re-encodes the new cycle. The vector is
+  // sized up front — GenerationSchedule holds raw pointers, so the coded
+  // programs must never relocate after Append.
+  std::vector<broadcast::BroadcastProgram> coded;
+  if (options.coding.enabled()) {
+    coded.reserve(index.generations.size());
+    for (const air::AirIndexHandle* handle : index.generations) {
+      coded.push_back(MakeCodedProgram(handle->program(), options.coding));
+    }
+  }
   broadcast::GenerationSchedule schedule;
   for (size_t g = 0; g < index.generations.size(); ++g) {
-    schedule.Append(&index.generations[g]->program(), index.cycles[g]);
+    schedule.Append(options.coding.enabled()
+                        ? &coded[g]
+                        : &index.generations[g]->program(),
+                    index.cycles[g]);
   }
 
   size_t workers =
@@ -267,12 +303,14 @@ AvgMetrics GenerationalRun(const GenerationalIndex& index,
       total.queries += s.queries;
       total.incomplete += s.incomplete;
       total.restarted += s.restarted;
+      total.repaired += s.repaired;
     }
   }
 
   avg.queries = total.queries;
   avg.incomplete = total.incomplete;
   avg.restarted = total.restarted;
+  avg.repaired = total.repaired;
   if (total.queries > 0) {
     avg.latency_bytes = static_cast<double>(total.latency_bytes) /
                         static_cast<double>(total.queries);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "air/air_index.hpp"
+#include "broadcast/coding.hpp"
 #include "sim/workload.hpp"
 
 namespace dsi::sim {
@@ -47,6 +48,9 @@ struct QueryResult {
   /// just on averages.
   uint64_t latency_bytes = 0;
   uint64_t tuning_bytes = 0;
+  /// Lost bucket reads this query recovered from parity instead of a
+  /// next-cycle retry (coded broadcasts only; always 0 uncoded).
+  uint64_t repaired = 0;
 };
 
 /// Averaged byte metrics over a workload.
@@ -58,6 +62,11 @@ struct AvgMetrics {
   /// Queries that straddled at least one republication instant and had to
   /// restart on a new generation (generational runs only).
   size_t restarted = 0;
+  /// TOTAL parity repairs across all queries (not an average): lost reads
+  /// recovered in place from the erasure code. Exact-accounting invariant,
+  /// audited by the conformance oracle: equals the sum of the per-query
+  /// QueryResult::repaired counters, and is 0 when coding is disabled.
+  size_t repaired = 0;
 
   /// Relative deterioration of this run versus a lossless baseline, in
   /// percent (Table 1's quantity).
@@ -79,6 +88,11 @@ struct RunOptions {
   /// instead of the per-worker arena. Results and metrics must be identical
   /// either way; conformance runs exercise both paths.
   bool heap_clients = false;
+  /// Server-side erasure coding of the on-air cycle. Disabled by default;
+  /// when enabled every query listens to the coded program (parity buckets
+  /// interleaved per group) and lost reads repair in place. Disabled runs
+  /// are byte-identical to a build without the coding layer.
+  broadcast::CodingConfig coding;
 };
 
 /// Runs every query of \p workload against \p index and averages the
@@ -125,7 +139,7 @@ void CaptureResult(QueryKind kind, const common::Point& query_point,
                    const std::vector<datasets::SpatialObject>& answer,
                    bool completed, uint64_t generation, size_t restarts,
                    uint64_t latency_bytes, uint64_t tuning_bytes,
-                   QueryResult* out);
+                   uint64_t repaired, QueryResult* out);
 
 }  // namespace detail
 

@@ -29,6 +29,8 @@ struct TourSums {
   size_t incomplete = 0;
   size_t restarted = 0;
   size_t cold_incomplete = 0;
+  size_t repaired = 0;
+  size_t cold_repaired = 0;
 };
 
 /// Runs the step query of client \p c at step \p s on \p client.
@@ -81,11 +83,12 @@ void RunColdStep(const std::vector<const air::AirIndexHandle*>& gens,
   const broadcast::Metrics m = session.metrics();
   sums->cold_latency_bytes += m.access_latency_bytes;
   sums->cold_tuning_bytes += m.tuning_bytes;
+  sums->cold_repaired += m.repaired;
   if (!completed) ++sums->cold_incomplete;
   if (result_out != nullptr) {
     detail::CaptureResult(wl.kind, wl.clients[c][s], answer, completed,
                           session.generation(), restarts,
-                          m.access_latency_bytes, m.tuning_bytes,
+                          m.access_latency_bytes, m.tuning_bytes, m.repaired,
                           result_out);
   }
 }
@@ -162,8 +165,10 @@ void RunTour(const std::vector<const air::AirIndexHandle*>& gens,
     const uint64_t step_latency =
         after.access_latency_bytes - before.access_latency_bytes;
     const uint64_t step_tuning = after.tuning_bytes - before.tuning_bytes;
+    const uint64_t step_repaired = after.repaired - before.repaired;
     sums->latency_bytes += step_latency;
     sums->tuning_bytes += step_tuning;
+    sums->repaired += step_repaired;
     ++sums->steps;
     if (!completed) ++sums->incomplete;
     if (restarts > 0) ++sums->restarted;
@@ -176,7 +181,7 @@ void RunTour(const std::vector<const air::AirIndexHandle*>& gens,
     if (warm_out != nullptr) {
       detail::CaptureResult(wl.kind, wl.clients[c][s], answer, completed,
                             session.generation(), restarts, step_latency,
-                            step_tuning, warm_out);
+                            step_tuning, step_repaired, warm_out);
     }
     if (options.cold_baseline) {
       RunColdStep(gens, wl, c, s, session, step_start, options, cold_arena,
@@ -204,9 +209,21 @@ TrajectoryMetrics RunTrajectoriesImpl(
   }
   if (num_clients == 0 || wl.num_steps() == 0) return avg;
 
+  // Same per-generation encoding as sim::GenerationalRun: each generation's
+  // cycle is encoded independently and its parity groups die with it. The
+  // vector is sized up front — the schedule keeps raw pointers.
+  std::vector<broadcast::BroadcastProgram> coded;
+  if (options.coding.enabled()) {
+    coded.reserve(gens.size());
+    for (const air::AirIndexHandle* handle : gens) {
+      coded.push_back(MakeCodedProgram(handle->program(), options.coding));
+    }
+  }
   broadcast::GenerationSchedule schedule;
   for (size_t g = 0; g < gens.size(); ++g) {
-    schedule.Append(&gens[g]->program(), cycles[g]);
+    schedule.Append(
+        options.coding.enabled() ? &coded[g] : &gens[g]->program(),
+        cycles[g]);
   }
 
   size_t workers =
@@ -244,6 +261,8 @@ TrajectoryMetrics RunTrajectoriesImpl(
       total.incomplete += s.incomplete;
       total.restarted += s.restarted;
       total.cold_incomplete += s.cold_incomplete;
+      total.repaired += s.repaired;
+      total.cold_repaired += s.cold_repaired;
     }
   }
 
@@ -252,6 +271,8 @@ TrajectoryMetrics RunTrajectoriesImpl(
   avg.incomplete = total.incomplete;
   avg.restarted = total.restarted;
   avg.cold_incomplete = total.cold_incomplete;
+  avg.repaired = total.repaired;
+  avg.cold_repaired = total.cold_repaired;
   if (total.steps > 0) {
     const auto steps = static_cast<double>(total.steps);
     avg.latency_bytes = static_cast<double>(total.latency_bytes) / steps;

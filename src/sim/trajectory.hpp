@@ -107,6 +107,11 @@ struct TrajectoryMetrics {
   size_t incomplete = 0;       ///< Warm steps aborted by the watchdog.
   size_t restarted = 0;        ///< Warm steps that straddled a republication.
   size_t cold_incomplete = 0;  ///< Cold-baseline steps aborted.
+  /// TOTAL parity repairs (not averages): lost reads the warm/cold clients
+  /// recovered from the erasure code. Each equals the sum of the matching
+  /// per-step QueryResult::repaired counters; 0 when coding is disabled.
+  size_t repaired = 0;
+  size_t cold_repaired = 0;
 
   /// Headline reuse metric: share of the cold tuning cost the warm client
   /// did not have to pay (percent).
@@ -139,6 +144,10 @@ struct TrajectoryOptions {
   /// When set, resized to [client][step] and filled (entry [c][s] belongs
   /// to that client/step for any worker count).
   std::vector<std::vector<TrajectoryStep>>* results = nullptr;
+  /// Server-side erasure coding of the on-air cycle(s); see
+  /// RunOptions::coding. Warm and cold clients listen to the same coded
+  /// channel, so warm/cold parity holds under repair too.
+  broadcast::CodingConfig coding;
 };
 
 /// Runs every client tour of \p workload against a static broadcast.

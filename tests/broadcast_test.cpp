@@ -1,4 +1,5 @@
 #include "broadcast/client.hpp"
+#include "broadcast/coding.hpp"
 #include "broadcast/program.hpp"
 
 #include <gtest/gtest.h>
@@ -280,6 +281,167 @@ TEST(ClientSessionTest, ThetaZeroNeverLoses) {
   for (int i = 0; i < 200; ++i) {
     EXPECT_TRUE(s.ReadBucket(s.current_slot()));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Erasure-coded broadcasts
+// ---------------------------------------------------------------------------
+
+TEST(CodedProgramTest, InterleavedShape) {
+  // 5 data buckets, groups of 2 + 1 parity: [d0 d1 P][d2 d3 P][d4 P] — the
+  // last group is the wrap-around short group (d = 1) and still gets its
+  // parity. Parity is padded to the group's largest member (1024 B = 16
+  // packets in every group of MakeSimpleProgram).
+  const BroadcastProgram p =
+      MakeCodedProgram(MakeSimpleProgram(), CodingConfig{2, 1});
+  EXPECT_TRUE(p.coded());
+  EXPECT_EQ(p.coding_group(), 2u);
+  EXPECT_EQ(p.coding_parity(), 1u);
+  EXPECT_EQ(p.num_buckets(), 8u);
+  EXPECT_EQ(p.num_data_buckets(), 5u);
+  const BucketKind kinds[8] = {
+      BucketKind::kDsiFrameTable, BucketKind::kDataObject, BucketKind::kParity,
+      BucketKind::kDataObject,    BucketKind::kDsiFrameTable,
+      BucketKind::kParity,        BucketKind::kDataObject, BucketKind::kParity};
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(p.bucket(i).kind, kinds[i]) << "phys slot " << i;
+  }
+  EXPECT_EQ(p.bucket(2).packets, 16u);  // padded to max(50 B, 1024 B)
+  EXPECT_EQ(p.bucket(5).packets, 16u);
+  EXPECT_EQ(p.bucket(7).packets, 16u);
+  EXPECT_EQ(p.cycle_packets(), (1u + 16 + 16) + (16 + 1 + 16) + (16 + 16));
+}
+
+TEST(CodedProgramTest, DisabledConfigIsIdentity) {
+  const BroadcastProgram original = MakeSimpleProgram();
+  for (const CodingConfig& off :
+       {CodingConfig{}, CodingConfig{2, 0}, CodingConfig{0, 3}}) {
+    const BroadcastProgram p = MakeCodedProgram(original, off);
+    EXPECT_FALSE(p.coded());
+    ASSERT_EQ(p.num_buckets(), original.num_buckets());
+    EXPECT_EQ(p.cycle_packets(), original.cycle_packets());
+    for (size_t i = 0; i < p.num_buckets(); ++i) {
+      EXPECT_EQ(p.bucket(i).kind, original.bucket(i).kind);
+      EXPECT_EQ(p.bucket(i).start_packet, original.bucket(i).start_packet);
+    }
+  }
+}
+
+TEST(CodedProgramTest, WrapAroundShortGroupGetsFullParity) {
+  // Groups of 4 over 5 data buckets: [d0..d3 P P][d4 P P].
+  const BroadcastProgram p =
+      MakeCodedProgram(MakeSimpleProgram(), CodingConfig{4, 2});
+  EXPECT_EQ(p.num_buckets(), 5u + 2u * 2u);
+  EXPECT_EQ(p.bucket(4).kind, BucketKind::kParity);
+  EXPECT_EQ(p.bucket(5).kind, BucketKind::kParity);
+  EXPECT_EQ(p.bucket(6).kind, BucketKind::kDataObject);
+  EXPECT_EQ(p.bucket(7).kind, BucketKind::kParity);
+  EXPECT_EQ(p.bucket(8).kind, BucketKind::kParity);
+}
+
+TEST(ClientSessionTest, CodedCleanReadsAreExactlyAccounted) {
+  // Clean channel: the coded cycle costs only latency (dozing over parity),
+  // never tuning, and slot numbers stay in data space. Tune in on the last
+  // packet of cycle 0 (97) so the probe parks exactly on data slot 0 of
+  // cycle 1 (absolute packet 98) and the whole walk streams one cycle.
+  const BroadcastProgram p =
+      MakeCodedProgram(MakeSimpleProgram(), CodingConfig{2, 1});
+  ASSERT_EQ(p.cycle_packets(), 98u);
+  ClientSession s(p, 97, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();
+  for (size_t slot = 0; slot < 5; ++slot) {
+    EXPECT_TRUE(s.ReadBucket(slot)) << "slot " << slot;
+  }
+  const Metrics m = s.metrics();
+  EXPECT_EQ(m.repaired, 0u);
+  // Probe (1 packet) + the five data buckets (1+16+16+1+16 = 50 packets).
+  EXPECT_EQ(m.tuning_bytes, (1u + 50u) * 64u);
+  // Slot 4 (phys 6, cycle offset 66..82) ends at absolute 98 + 82 = 180.
+  EXPECT_EQ(s.now_packets(), 180u);
+  EXPECT_EQ(m.access_latency_bytes, (180u - 97u) * 64u);
+}
+
+TEST(ClientSessionTest, CodedSingleLossRepairsWithoutFailing) {
+  // Exactly one on-air loss (kSingleEvent, theta = 1): a sequential reader
+  // always holds or can still hear d of the group's d+p symbols, so the
+  // read repairs transparently — no caller-visible failure, repaired == 1.
+  const BroadcastProgram p =
+      MakeCodedProgram(MakeSimpleProgram(), CodingConfig{2, 1});
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ClientSession s(p, seed * 7, ErrorModel{1.0, ErrorMode::kSingleEvent},
+                    common::Rng(seed));
+    s.InitialProbe();
+    int failures = 0;
+    for (int i = 0; i < 200; ++i) {
+      if (!s.ReadBucket(s.current_slot())) ++failures;
+    }
+    EXPECT_EQ(failures, 0) << "seed " << seed;
+    EXPECT_EQ(s.metrics().repaired, 1u) << "seed " << seed;
+  }
+}
+
+TEST(ClientSessionTest, CodedBufferServesRereadsFree) {
+  // Symbols heard in the current group/occurrence are an in-memory copy: a
+  // re-read costs no airtime and no clock movement at all.
+  const BroadcastProgram p =
+      MakeCodedProgram(MakeSimpleProgram(), CodingConfig{2, 1});
+  ClientSession s(p, 97, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();
+  ASSERT_TRUE(s.ReadBucket(0));
+  ASSERT_TRUE(s.ReadBucket(1));
+  const uint64_t tuning = s.metrics().tuning_bytes;
+  const uint64_t now = s.now_packets();
+  EXPECT_TRUE(s.ReadBucket(0));  // same group, same occurrence: buffered
+  EXPECT_EQ(s.metrics().tuning_bytes, tuning);
+  EXPECT_EQ(s.now_packets(), now);
+  EXPECT_TRUE(s.ReadBucket(2));  // next group: back on the radio
+  EXPECT_GT(s.metrics().tuning_bytes, tuning);
+}
+
+TEST(ClientSessionTest, CodedPerBucketLossSharedChannelWithColdFork) {
+  // kPerBucketLoss coins belong to the channel: a cold fork tuning in at
+  // the same instant and issuing the same reads sees the same losses and
+  // performs the same repairs, coded or not.
+  const BroadcastProgram p =
+      MakeCodedProgram(MakeSimpleProgram(), CodingConfig{2, 2});
+  ClientSession warm(p, 3, ErrorModel{0.5, ErrorMode::kPerBucketLoss},
+                     common::Rng(11));
+  warm.InitialProbe();
+  ClientSession cold = warm.ForkColdSession(3, common::Rng(99));
+  cold.InitialProbe();
+  for (int i = 0; i < 120; ++i) {
+    const size_t slot = warm.current_slot();
+    ASSERT_EQ(cold.current_slot(), slot) << "read " << i;
+    EXPECT_EQ(warm.ReadBucket(slot), cold.ReadBucket(slot)) << "read " << i;
+    ASSERT_EQ(warm.now_packets(), cold.now_packets()) << "read " << i;
+  }
+  EXPECT_EQ(warm.metrics().repaired, cold.metrics().repaired);
+  EXPECT_GT(warm.metrics().repaired, 0u);
+  EXPECT_EQ(warm.metrics().tuning_bytes, cold.metrics().tuning_bytes);
+}
+
+TEST(ClientSessionTest, CodedRepairChargesExactBytes) {
+  // Every repair listen is charged like an ordinary listen: tuning equals
+  // listened packets times capacity, with no untracked airtime.
+  const BroadcastProgram p =
+      MakeCodedProgram(MakeSimpleProgram(), CodingConfig{2, 1});
+  ClientSession s(p, 0, ErrorModel{0.5, ErrorMode::kPerBucketLoss},
+                  common::Rng(5));
+  s.InitialProbe();
+  std::vector<TraceEvent> trace;
+  s.set_trace(&trace);
+  const uint64_t tuning_before = s.metrics().tuning_bytes;
+  for (int i = 0; i < 200; ++i) s.ReadBucket(s.current_slot());
+  uint64_t listened = 0;
+  for (const TraceEvent& e : trace) {
+    if (e.kind == TraceEvent::Kind::kListen ||
+        e.kind == TraceEvent::Kind::kRepair) {
+      listened += e.end_packet - e.start_packet;
+    }
+  }
+  EXPECT_EQ(s.metrics().tuning_bytes - tuning_before,
+            listened * p.packet_capacity());
+  EXPECT_GT(s.metrics().repaired, 0u);
 }
 
 }  // namespace

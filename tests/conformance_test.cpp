@@ -310,5 +310,81 @@ TEST(ConformanceRegression, TotalLossSurfacesIncompleteInAggregates) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Bug 3 (campaign finding): under correlated (burst) loss a coded session's
+// repair listens consumed the very airings a sequential scan was about to
+// read; when the repair listens were themselves lost, every lost bucket cost
+// a serialized full-cycle wait and full-scan queries watchdog-aborted. The
+// session now credits the WHOLE group on a closed decode and fails a read
+// instantly when the buffer already knows the occurrence's airing is gone,
+// so scans defer losses exactly as they do uncoded.
+// ---------------------------------------------------------------------------
+TEST(ConformanceRegression, CodedBurstFullScansDoNotBlockPerLoss) {
+  {
+    sim::ConformanceCase c = sim::MakeConformanceCase(16);
+    c.error_mode = broadcast::ErrorMode::kBurstLoss;
+    c.theta = 0.5;
+    c.code_group = 2;
+    c.code_parity = 2;
+    const auto r = sim::RunConformanceCase(c);
+    EXPECT_TRUE(r.divergences.empty()) << Describe(r, c);
+    EXPECT_EQ(r.incomplete, 0u) << Describe(r, c);
+  }
+  {
+    sim::ConformanceCase c = sim::MakeConformanceCase(43);
+    c.error_mode = broadcast::ErrorMode::kBurstLoss;
+    const auto r = sim::RunConformanceCase(c);
+    EXPECT_TRUE(r.divergences.empty()) << Describe(r, c);
+    EXPECT_EQ(r.incomplete, 0u) << Describe(r, c);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The coded-broadcast robustness guarantee: at theta = 0.5 per-bucket loss
+// a (2, 2) code lets all four families complete every query, with in-place
+// repairs cutting the number of cycle LAPS a query needs to well under half
+// of the uncoded retry strategy's. (Laps, not absolute bytes: parity padded
+// to each group's largest member stretches the coded cycle 2-3x on these
+// mixed table/object layouts, so the latency win is measured in cycles of
+// the program actually on air — see bench/coded_broadcast for the sweep.)
+// ---------------------------------------------------------------------------
+TEST(ConformanceRegression, CodedRedundancyBoundsLapsAtThetaHalf) {
+  const auto u = datasets::UnitUniverse();
+  const auto objects = datasets::MakeUniform(250, u, 31);
+  const hilbert::SpaceMapper mapper(u, 6);
+  const core::DsiIndex dsi(objects, mapper, 64, core::DsiConfig{});
+  const air::DsiHandle dsi_handle(dsi);
+  const rtree::RtreeIndex rt(objects, 64);
+  const air::RtreeHandle rt_handle(rt);
+  const hci::HciIndex hc(objects, mapper, 64);
+  const air::HciHandle hci_handle(hc);
+  const air::ExpHandle exp_handle(objects, mapper, 64);
+
+  const auto windows = sim::MakeWindowWorkload(12, 0.25, u, 23);
+  const sim::Workload wl =
+      sim::Workload::Window(windows, 0.5, broadcast::ErrorMode::kPerBucketLoss);
+  for (const air::AirIndexHandle* handle :
+       {static_cast<const air::AirIndexHandle*>(&dsi_handle),
+        static_cast<const air::AirIndexHandle*>(&rt_handle),
+        static_cast<const air::AirIndexHandle*>(&hci_handle),
+        static_cast<const air::AirIndexHandle*>(&exp_handle)}) {
+    sim::RunOptions opt;
+    opt.seed = 11;
+    const auto uncoded = sim::RunWorkload(*handle, wl, opt);
+    opt.coding = broadcast::CodingConfig{2, 2};
+    const auto m = sim::RunWorkload(*handle, wl, opt);
+    EXPECT_EQ(m.incomplete, 0u) << handle->family();
+    EXPECT_GT(m.repaired, 0u) << handle->family();
+    const auto coded =
+        broadcast::MakeCodedProgram(handle->program(), opt.coding);
+    const double coded_laps =
+        m.latency_bytes / static_cast<double>(coded.cycle_bytes());
+    const double uncoded_laps =
+        uncoded.latency_bytes /
+        static_cast<double>(handle->program().cycle_bytes());
+    EXPECT_LE(coded_laps, 0.65 * uncoded_laps) << handle->family();
+  }
+}
+
 }  // namespace
 }  // namespace dsi

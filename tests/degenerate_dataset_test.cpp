@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "air/dsi_handle.hpp"
+#include "broadcast/coding.hpp"
 #include "air/exp_handle.hpp"
 #include "air/hci_handle.hpp"
 #include "air/rtree_handle.hpp"
@@ -141,6 +142,55 @@ TEST_P(SingleObject, AllQueriesFindTheLoneObject) {
 // possible retry is the lone frame itself, next cycle.
 INSTANTIATE_TEST_SUITE_P(CleanAndLossy, SingleObject,
                          ::testing::Values(0.0, 0.5));
+
+TEST(DegenerateDatasets, CodingOnEmptyAndSingleObjectBroadcasts) {
+  // Erasure coding must survive the degenerate ends: an empty program codes
+  // to an empty program (RunWorkload still guards it), and a single-object
+  // broadcast — one or two buckets, so every parity group is the short
+  // wrap-around group — still answers every query under loss, repairing
+  // from parity when the lone frame is hit.
+  const auto u = datasets::UnitUniverse();
+  const hilbert::SpaceMapper mapper(u, 5);
+
+  broadcast::BroadcastProgram empty(64);
+  empty.Finalize();
+  const auto coded_empty =
+      broadcast::MakeCodedProgram(empty, broadcast::CodingConfig{4, 2});
+  EXPECT_EQ(coded_empty.cycle_packets(), 0u);
+  EXPECT_FALSE(coded_empty.coded());
+
+  const std::vector<datasets::SpatialObject> none;
+  AllFamilies empties(none, mapper, 64);
+  sim::RunOptions opt;
+  opt.seed = 3;
+  opt.coding = broadcast::CodingConfig{4, 2};
+  const auto windows = sim::MakeWindowWorkload(2, 0.4, u, 1);
+  for (const air::AirIndexHandle* handle : empties.handles) {
+    const auto m =
+        sim::RunWorkload(*handle, sim::Workload::Window(windows), opt);
+    EXPECT_EQ(m.queries, 0u) << handle->family();
+    EXPECT_EQ(m.repaired, 0u) << handle->family();
+  }
+
+  const std::vector<datasets::SpatialObject> one{
+      datasets::SpatialObject{42, common::Point{0.31, 0.77}}};
+  AllFamilies fam(one, mapper, 64);
+  const common::Rect hit{0.2, 0.7, 0.4, 0.9};
+  std::vector<sim::QueryResult> results;
+  opt.results = &results;
+  for (const air::AirIndexHandle* handle : fam.handles) {
+    // Group larger than the bucket count: the whole cycle is one short
+    // wrap-around group.
+    ASSERT_LT(handle->program().num_buckets(), 4u) << handle->family();
+    sim::RunWorkload(*handle,
+                     sim::Workload::Window({hit, hit, hit, hit}, 0.5), opt);
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto& r : results) {
+      ASSERT_TRUE(r.completed) << handle->family();
+      EXPECT_EQ(r.ids, std::vector<uint32_t>{42}) << handle->family();
+    }
+  }
+}
 
 TEST(DegenerateDatasets, EmptyToOneObjectRepublication) {
   // A broadcast born empty cannot be tuned into; but a generation that

@@ -211,6 +211,42 @@ const GoldenRow kGolden[] = {
     {"rtree", 1, 0, "knn", 0, 521450.66666666669, 11552, 0},
 };
 
+/// One golden row of the erasure-coded engine: the same workloads and seed
+/// as kGolden, run with a (group, parity) coding config. theta = 0 pins the
+/// parity padding and data-to-physical slot translation; theta = 0.5 pins
+/// the repair path — listens, reconstructions and the repaired counter —
+/// byte for byte. Captured by the coded section of tools/golden_gen.
+struct CodedGoldenRow {
+  const char* family;
+  uint32_t group;
+  uint32_t parity;
+  const char* kind;
+  double theta;
+  double latency_bytes;
+  double tuning_bytes;
+  size_t incomplete;
+  size_t repaired;
+};
+
+const CodedGoldenRow kGoldenCoded[] = {
+    {"dsi", 2, 1, "window", 0, 353616, 10650.666666666666, 0, 0},
+    {"dsi", 2, 1, "window", 0.5, 3079189.3333333335, 39493.333333333336, 0, 64},
+    {"dsi", 2, 2, "window", 0, 522832, 10650.666666666666, 0, 0},
+    {"dsi", 2, 2, "window", 0.5, 2717434.6666666665, 47909.333333333336, 0, 108},
+    {"rtree", 2, 1, "window", 0, 350277.33333333331, 7520, 0, 0},
+    {"rtree", 2, 1, "window", 0.5, 3752752, 15152, 0, 54},
+    {"rtree", 2, 2, "window", 0, 477072, 7520, 0, 0},
+    {"rtree", 2, 2, "window", 0.5, 3489866.6666666665, 20325.333333333332, 0, 93},
+    {"hci", 2, 1, "window", 0, 450336, 6874.666666666667, 0, 0},
+    {"hci", 2, 1, "window", 0.5, 4554869.333333333, 16218.666666666666, 0, 37},
+    {"hci", 2, 2, "window", 0, 609749.33333333337, 6874.666666666667, 0, 0},
+    {"hci", 2, 2, "window", 0.5, 3614640, 17546.666666666668, 0, 69},
+    {"expindex", 2, 1, "window", 0, 2670602.6666666665, 17856, 0, 0},
+    {"expindex", 2, 1, "window", 0.5, 10126581.333333334, 69717.333333333328, 0, 93},
+    {"expindex", 2, 2, "window", 0, 3914938.6666666665, 17856, 0, 0},
+    {"expindex", 2, 2, "window", 0.5, 8791728, 92800, 0, 191},
+};
+
 class GoldenMetricsTest : public ::testing::Test {
  protected:
   static constexpr size_t kQueries = 12;
@@ -283,6 +319,41 @@ TEST_F(GoldenMetricsTest, Rtree) {
   const air::RtreeHandle handle(rt);
   for (const GoldenRow& row : kGolden) {
     if (std::strcmp(row.family, "rtree") == 0) Check(handle, row);
+  }
+}
+
+TEST_F(GoldenMetricsTest, CodedConfigsAllFamilies) {
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 6);
+  const core::DsiIndex dsi(objects_, mapper, kCapacity, core::DsiConfig{});
+  const air::DsiHandle dsi_handle(dsi);
+  const hci::HciIndex hci(objects_, mapper, kCapacity);
+  const air::HciHandle hci_handle(hci);
+  const air::ExpHandle exp_handle(objects_, mapper, kCapacity);
+  const rtree::RtreeIndex rt(objects_, kCapacity);
+  const air::RtreeHandle rtree_handle(rt);
+  const auto handle_for =
+      [&](const char* family) -> const air::AirIndexHandle& {
+    if (std::strcmp(family, "dsi") == 0) return dsi_handle;
+    if (std::strcmp(family, "rtree") == 0) return rtree_handle;
+    if (std::strcmp(family, "hci") == 0) return hci_handle;
+    return exp_handle;
+  };
+  for (const CodedGoldenRow& row : kGoldenCoded) {
+    sim::RunOptions opt;
+    opt.seed = 77;
+    opt.workers = 1;
+    opt.coding = broadcast::CodingConfig{row.group, row.parity};
+    const auto metrics = sim::RunWorkload(
+        handle_for(row.family), sim::Workload::Window(windows_, row.theta),
+        opt);
+    const std::string label = std::string(row.family) + " (" +
+                              std::to_string(row.group) + "," +
+                              std::to_string(row.parity) +
+                              ") theta=" + std::to_string(row.theta);
+    EXPECT_EQ(metrics.latency_bytes, row.latency_bytes) << label;
+    EXPECT_EQ(metrics.tuning_bytes, row.tuning_bytes) << label;
+    EXPECT_EQ(metrics.incomplete, row.incomplete) << label;
+    EXPECT_EQ(metrics.repaired, row.repaired) << label;
   }
 }
 

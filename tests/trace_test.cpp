@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "broadcast/client.hpp"
+#include "broadcast/coding.hpp"
 #include "broadcast/program.hpp"
 #include "common/rng.hpp"
 #include "datasets/datasets.hpp"
@@ -95,6 +96,55 @@ TEST(TraceTest, FullQueryTraceIsConsistent) {
   const Metrics m = s.metrics();
   EXPECT_EQ(on * 64, m.tuning_bytes);
   EXPECT_EQ(total * 64, m.access_latency_bytes);
+}
+
+TEST(TraceTest, RepairEventsTileTimeAndCarryPhysicalSlots) {
+  // A coded session under heavy loss emits kRepair events for the group
+  // symbols it listens to while reconstructing. The trace still tiles the
+  // time axis exactly, repair slots are PHYSICAL (they may name parity
+  // buckets, which have no data-slot number), and total on-air time equals
+  // tuning byte for byte.
+  const BroadcastProgram p =
+      MakeCodedProgram(MakeProgram(), CodingConfig{2, 1});
+  ClientSession s(p, 5, ErrorModel{0.5, ErrorMode::kPerBucketLoss},
+                  common::Rng(9));
+  std::vector<TraceEvent> trace;
+  s.set_trace(&trace);
+  s.InitialProbe();
+  for (int i = 0; i < 120; ++i) s.ReadBucket(s.current_slot());
+  ASSERT_GT(s.metrics().repaired, 0u);
+
+  size_t repair_events = 0;
+  uint64_t on_packets = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& e = trace[i];
+    if (i > 0) EXPECT_EQ(e.start_packet, trace[i - 1].end_packet);
+    if (e.kind == TraceEvent::Kind::kRepair) {
+      ++repair_events;
+      EXPECT_LT(e.slot, p.num_buckets());  // physical slot space
+      EXPECT_EQ(e.end_packet - e.start_packet, p.bucket(e.slot).packets);
+    }
+    if (e.kind != TraceEvent::Kind::kDoze) {
+      on_packets += e.end_packet - e.start_packet;
+    }
+  }
+  EXPECT_GT(repair_events, 0u);
+  EXPECT_EQ(on_packets * p.packet_capacity(), s.metrics().tuning_bytes);
+  EXPECT_EQ(trace.back().end_packet, s.now_packets());
+}
+
+TEST(TraceTest, UncodedSessionNeverEmitsRepairEvents) {
+  const BroadcastProgram p = MakeProgram();
+  ClientSession s(p, 0, ErrorModel{0.7, ErrorMode::kPerBucketLoss},
+                  common::Rng(4));
+  std::vector<TraceEvent> trace;
+  s.set_trace(&trace);
+  s.InitialProbe();
+  for (int i = 0; i < 60; ++i) s.ReadBucket(s.current_slot());
+  EXPECT_EQ(s.metrics().repaired, 0u);
+  for (const auto& e : trace) {
+    EXPECT_NE(e.kind, TraceEvent::Kind::kRepair);
+  }
 }
 
 TEST(TraceTest, NoTraceByDefault) {

@@ -11,10 +11,14 @@
 ///
 ///   conformance_fuzz --seeds=200 [--start=0] [--families=dsi,hci]
 ///       [--min-generations=3] [--min-updates=2]
+///       [--theta=0.5 --error-mode=burst --code-group=2 --code-parity=2]
 ///
 /// --min-generations / --min-updates lift every swept case to at least
 /// that many broadcast generations / update ops between generations — the
-/// dedicated update-stream sweep CI runs.
+/// dedicated update-stream sweep CI runs. Passing --theta, --error-mode,
+/// --code-group or --code-parity in sweep mode pins that axis across every
+/// swept case (the coded-channel and burst-weather CI sweeps); axes not
+/// pinned keep their seed-determined values.
 ///
 /// A case fails on any oracle divergence (completed queries are checked
 /// against the object set of the generation they answered for) OR — at
@@ -58,6 +62,10 @@ struct Args {
   // Sweep-mode floors: force every case onto the dynamic-broadcast axis.
   uint32_t min_generations = 1;
   uint32_t min_updates = 0;
+  // Sweep-mode axis pins (set when the flag was given explicitly).
+  bool have_theta = false;
+  bool have_mode = false;
+  bool have_coding = false;
 };
 
 std::vector<std::string> SplitFamilies(const std::string& value) {
@@ -76,6 +84,7 @@ bool ParseMode(const std::string& value, dsi::broadcast::ErrorMode* mode) {
   if (value == "read") *mode = dsi::broadcast::ErrorMode::kPerReadLoss;
   else if (value == "event") *mode = dsi::broadcast::ErrorMode::kSingleEvent;
   else if (value == "bucket") *mode = dsi::broadcast::ErrorMode::kPerBucketLoss;
+  else if (value == "burst") *mode = dsi::broadcast::ErrorMode::kBurstLoss;
   else return false;
   return true;
 }
@@ -99,8 +108,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     else if (key == "--m") args->base.m = static_cast<uint32_t>(u64());
     else if (key == "--object-factor") args->base.object_factor = static_cast<uint32_t>(u64());
     else if (key == "--chunk-size") args->base.chunk_size = static_cast<uint32_t>(u64());
-    else if (key == "--theta") args->base.theta = std::strtod(value.c_str(), nullptr);
-    else if (key == "--error-mode") { if (!ParseMode(value, &args->base.error_mode)) return false; }
+    else if (key == "--theta") { args->base.theta = std::strtod(value.c_str(), nullptr); args->have_theta = true; }
+    else if (key == "--error-mode") { if (!ParseMode(value, &args->base.error_mode)) return false; args->have_mode = true; }
     else if (key == "--workers") args->base.workers = u64();
     else if (key == "--heap") args->base.heap_clients = u64() != 0;
     else if (key == "--windows") args->base.window_queries = u64();
@@ -110,6 +119,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     else if (key == "--generations") args->base.generations = static_cast<uint32_t>(u64());
     else if (key == "--updates") args->base.updates_per_gen = static_cast<uint32_t>(u64());
     else if (key == "--gen-cycles") args->base.gen_cycles = static_cast<uint32_t>(u64());
+    else if (key == "--code-group") { args->base.code_group = static_cast<uint32_t>(u64()); args->have_coding = true; }
+    else if (key == "--code-parity") { args->base.code_parity = static_cast<uint32_t>(u64()); args->have_coding = true; }
     else if (key == "--traj-clients") args->base.trajectory_clients = static_cast<uint32_t>(u64());
     else if (key == "--traj-steps") args->base.trajectory_steps = static_cast<uint32_t>(u64());
     else if (key == "--min-generations") args->min_generations = static_cast<uint32_t>(u64());
@@ -195,6 +206,13 @@ ConformanceCase Shrink(ConformanceCase c,
     if (!fails(candidate)) break;
     c = candidate;
   }
+  // Uncoded channel (repairs off, plain broadcast layout).
+  if (c.code_group != 0 || c.code_parity != 0) {
+    ConformanceCase candidate = c;
+    candidate.code_group = 0;
+    candidate.code_parity = 0;
+    if (fails(candidate)) c = candidate;
+  }
   // Lossless channel.
   if (c.theta != 0.0) {
     ConformanceCase candidate = c;
@@ -230,11 +248,12 @@ int main(int argc, char** argv) {
   if (args.base.n == 0 || args.base.order < 1 || args.base.order > 16 ||
       args.base.capacity < 32 || args.base.theta < 0.0 ||
       args.base.theta > 1.0 || args.base.workers == 0 ||
-      args.base.generations == 0 || args.base.gen_cycles == 0) {
+      args.base.generations == 0 || args.base.gen_cycles == 0 ||
+      args.base.code_group + args.base.code_parity > 64) {
     std::fprintf(stderr,
                  "invalid case: need --n>=1, 1<=--order<=16, --capacity>=32, "
                  "0<=--theta<=1, --workers>=1, --generations>=1, "
-                 "--gen-cycles>=1\n");
+                 "--gen-cycles>=1, --code-group + --code-parity <= 64\n");
     return 2;
   }
 
@@ -261,6 +280,14 @@ int main(int argc, char** argv) {
     }
     if (c.generations > 1 && args.min_updates > c.updates_per_gen) {
       c.updates_per_gen = args.min_updates;
+    }
+    // Pinned axes override the seed-determined values across the whole
+    // sweep (dataset/query/tune-in derivation stays seed-driven).
+    if (args.have_theta) c.theta = args.base.theta;
+    if (args.have_mode) c.error_mode = args.base.error_mode;
+    if (args.have_coding) {
+      c.code_group = args.base.code_group;
+      c.code_parity = args.base.code_parity;
     }
     const ConformanceReport r = RunConformanceCase(c, args.families);
     checked += r.queries_checked;

@@ -8,9 +8,11 @@
 /// Output: C++ initializer rows for the GoldenRow table, printed to stdout.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "air/dsi_handle.hpp"
+#include "broadcast/coding.hpp"
 #include "air/exp_handle.hpp"
 #include "air/hci_handle.hpp"
 #include "air/rtree_handle.hpp"
@@ -77,6 +79,50 @@ int main() {
     emit("rtree", 1, 0, "window", 0.5, rh,
          sim::Workload::Window(windows, 0.5));
     emit("rtree", 1, 0, "knn", 0.0, rh, sim::Workload::Knn(points, 4));
+  }
+
+  // Erasure-coded rows (CodedGoldenRow format: family, group, parity, kind,
+  // theta, latency, tuning, incomplete, repaired). Same workloads and seed;
+  // theta = 0 pins the parity padding + slot translation costs, theta = 0.5
+  // pins the repair path byte for byte.
+  auto emit_coded = [&](const char* family, uint32_t group, uint32_t parity,
+                        const char* kind, double theta,
+                        const air::AirIndexHandle& h,
+                        const sim::Workload& wl) {
+    sim::RunOptions opt;
+    opt.seed = 77;
+    opt.workers = 1;
+    opt.coding = broadcast::CodingConfig{group, parity};
+    const auto metrics = sim::RunWorkload(h, wl, opt);
+    std::printf(
+        "    {\"%s\", %u, %u, \"%s\", %g, %.17g, %.17g, %zu, %zu},\n", family,
+        group, parity, kind, theta, metrics.latency_bytes,
+        metrics.tuning_bytes, metrics.incomplete, metrics.repaired);
+  };
+
+  {
+    const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 6);
+    const core::DsiIndex dsi(objects, mapper, kCapacity, core::DsiConfig{});
+    const air::DsiHandle dh(dsi);
+    const hci::HciIndex hci(objects, mapper, kCapacity);
+    const air::HciHandle hh(hci);
+    const air::ExpHandle eh(objects, mapper, kCapacity);
+    const rtree::RtreeIndex rt(objects, kCapacity);
+    const air::RtreeHandle rh(rt);
+    for (const air::AirIndexHandle* h :
+         {static_cast<const air::AirIndexHandle*>(&dh),
+          static_cast<const air::AirIndexHandle*>(&rh),
+          static_cast<const air::AirIndexHandle*>(&hh),
+          static_cast<const air::AirIndexHandle*>(&eh)}) {
+      const std::string family(h->family());
+      for (const auto& cfg : {std::pair<uint32_t, uint32_t>{2, 1},
+                              std::pair<uint32_t, uint32_t>{2, 2}}) {
+        emit_coded(family.c_str(), cfg.first, cfg.second, "window", 0.0, *h,
+                   sim::Workload::Window(windows));
+        emit_coded(family.c_str(), cfg.first, cfg.second, "window", 0.5, *h,
+                   sim::Workload::Window(windows, 0.5));
+      }
+    }
   }
   return 0;
 }
