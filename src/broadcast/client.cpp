@@ -161,7 +161,14 @@ void ClientSession::InitialProbe() {
 void ClientSession::Pace(uint64_t packets) {
   assert(probed_);
   if (packets == 0) return;
-  AdvanceTo(now_ + packets);
+  ResumeAt(now_ + packets);
+}
+
+void ClientSession::ResumeAt(uint64_t wake_packet) {
+  assert(probed_);
+  assert(wake_packet >= now_);
+  if (wake_packet == now_) return;
+  AdvanceTo(wake_packet);
   if (now_ >= gen_end_) {
     // Woke up in a republished broadcast: the remembered layout is gone, so
     // re-synchronize off one packet header, exactly like the initial probe.

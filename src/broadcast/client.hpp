@@ -172,7 +172,24 @@ class ClientSession {
   /// layout — every slot number learned before the doze is dead). Requires
   /// a probed session; never used by single-query runs, so static goldens
   /// are untouched.
+  ///
+  /// Pace(p) is exactly ResumeAt(now_packets() + p): the blocking form of
+  /// the wake-at-packet continuation below.
   void Pace(uint64_t packets);
+
+  /// The wake-at-packet continuation contract. A session that has gone
+  /// radio-off after a step is fully described by one number — the global
+  /// packet at which it intends to wake (now_packets() + think time). An
+  /// event-driven scheduler stores that number, lets the broadcast timeline
+  /// run, and calls ResumeAt(wake_packet) when the channel reaches it; the
+  /// session then performs the identical work Pace would have: doze to the
+  /// wake instant, one re-sync header listen iff the wake landed past a
+  /// republication instant, park on the next data-bucket boundary. Both
+  /// entry points share one body, so a scheduler-driven client is
+  /// byte-identical to a loop-driven one by construction. ResumeAt at the
+  /// current instant is a no-op (mirrors Pace(0)); waking in the past is
+  /// not meaningful (asserted).
+  void ResumeAt(uint64_t wake_packet);
 
   /// A fresh session observing the SAME physical channel as this one,
   /// tuning in at \p tune_in_packet: warm/cold differential baselines run

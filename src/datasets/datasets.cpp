@@ -176,6 +176,29 @@ std::vector<common::Point> MakeTrajectory(size_t steps,
   return path;
 }
 
+std::vector<ChurnSpan> MakeChurnStream(size_t num_clients,
+                                       uint64_t horizon_packets,
+                                       double churn_rate, uint64_t seed) {
+  common::Rng rng(seed);
+  const uint64_t horizon = std::max<uint64_t>(1, horizon_packets);
+  std::vector<ChurnSpan> spans;
+  spans.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    ChurnSpan span;
+    span.arrive_packet = static_cast<uint64_t>(
+        rng.UniformInt(0, static_cast<int64_t>(horizon) - 1));
+    // Every client draws its residence coin and time, so the stream for a
+    // given (num_clients, horizon, seed) is identical at every churn_rate —
+    // only the keep/leave decision flips.
+    const bool leaves = rng.Uniform(0.0, 1.0) < churn_rate;
+    const auto residence = static_cast<uint64_t>(
+        rng.UniformInt(1, static_cast<int64_t>(horizon)));
+    if (leaves) span.depart_packet = span.arrive_packet + residence;
+    spans.push_back(span);
+  }
+  return spans;
+}
+
 std::vector<UpdateOp> MakeUpdateStream(const std::vector<SpatialObject>& objects,
                                        size_t count,
                                        const common::Rect& universe,

@@ -86,6 +86,36 @@ std::vector<common::Point> MakeTrajectory(size_t steps,
                                           uint64_t seed);
 
 // ---------------------------------------------------------------------------
+// Client churn: arrival/departure spans over the broadcast timeline
+// ---------------------------------------------------------------------------
+
+/// One client's presence on the channel, in absolute global packets: the
+/// client tunes in at arrive_packet and powers off at the first step
+/// boundary at or after depart_packet (clients never abandon a query
+/// mid-flight — the radio stays on until the running re-evaluation
+/// answers). depart_packet = UINT64_MAX means the client never leaves; a
+/// span with depart_packet <= arrive_packet never joins at all (its whole
+/// tour is skipped with exact accounting).
+struct ChurnSpan {
+  uint64_t arrive_packet = 0;
+  uint64_t depart_packet = UINT64_MAX;
+};
+
+/// Seed-determined churn stream for \p num_clients clients, the population
+/// counterpart of MakeUpdateStream's object churn: arrivals are uniform
+/// over [0, horizon_packets) — the same tune-in distribution the engines
+/// draw for a churn-free population — and each client independently
+/// departs early with probability \p churn_rate, after a residence time
+/// uniform in [1, horizon_packets]. churn_rate = 0 reproduces the
+/// everyone-stays population (every depart = UINT64_MAX); churn_rate = 1
+/// drains the whole population, so a long enough run always empties
+/// mid-flight. Deterministic for a given (num_clients, horizon, rate,
+/// seed); entry c is client c's span.
+std::vector<ChurnSpan> MakeChurnStream(size_t num_clients,
+                                       uint64_t horizon_packets,
+                                       double churn_rate, uint64_t seed);
+
+// ---------------------------------------------------------------------------
 // Dynamic data: update streams between broadcast generations
 // ---------------------------------------------------------------------------
 

@@ -295,13 +295,86 @@ void CheckWorkload(const std::vector<const air::AirIndexHandle*>& gens,
   }
 }
 
+bool SameQueryResult(const QueryResult& a, const QueryResult& b) {
+  return a.ids == b.ids && a.knn_distances == b.knn_distances &&
+         a.completed == b.completed && a.generation == b.generation &&
+         a.restarts == b.restarts && a.latency_bytes == b.latency_bytes &&
+         a.tuning_bytes == b.tuning_bytes && a.repaired == b.repaired;
+}
+
+/// Bit-exact loop-vs-scheduler differential: the two simulation cores ran
+/// the identical workload; any deviation — a metric, a flag, a single byte
+/// of any step result — is a divergence. Exact double comparison is
+/// deliberate: both engines accumulate the same integer sums in the same
+/// shard order, so the averages must be the same doubles.
+void CheckEngineParity(const TrajectoryMetrics& loop,
+                       const TrajectoryMetrics& sched,
+                       const std::vector<std::vector<TrajectoryStep>>& loop_r,
+                       const std::vector<std::vector<TrajectoryStep>>& sched_r,
+                       const std::string& family,
+                       const std::string& workload_name,
+                       ConformanceReport* report) {
+  if (loop.latency_bytes != sched.latency_bytes ||
+      loop.tuning_bytes != sched.tuning_bytes ||
+      loop.cold_latency_bytes != sched.cold_latency_bytes ||
+      loop.cold_tuning_bytes != sched.cold_tuning_bytes ||
+      loop.clients != sched.clients || loop.steps != sched.steps ||
+      loop.incomplete != sched.incomplete ||
+      loop.restarted != sched.restarted ||
+      loop.cold_incomplete != sched.cold_incomplete ||
+      loop.repaired != sched.repaired ||
+      loop.cold_repaired != sched.cold_repaired ||
+      loop.departed != sched.departed ||
+      loop.skipped_steps != sched.skipped_steps) {
+    std::ostringstream os;
+    os << "engine parity: scheduler metrics deviate from the loop oracle:"
+       << " steps " << loop.steps << "/" << sched.steps << ", latency "
+       << loop.latency_bytes << "/" << sched.latency_bytes << ", tuning "
+       << loop.tuning_bytes << "/" << sched.tuning_bytes << ", departed "
+       << loop.departed << "/" << sched.departed << ", skipped "
+       << loop.skipped_steps << "/" << sched.skipped_steps;
+    report->divergences.push_back(
+        Divergence{family, workload_name, 0, os.str()});
+  }
+  if (loop_r.size() != sched_r.size()) {
+    report->divergences.push_back(
+        Divergence{family, workload_name, 0,
+                   "engine parity: result shapes differ"});
+    return;
+  }
+  for (size_t cl = 0; cl < loop_r.size(); ++cl) {
+    if (loop_r[cl].size() != sched_r[cl].size()) {
+      report->divergences.push_back(
+          Divergence{family, workload_name, cl,
+                     "engine parity: per-client step counts differ"});
+      continue;
+    }
+    for (size_t s = 0; s < loop_r[cl].size(); ++s) {
+      const TrajectoryStep& a = loop_r[cl][s];
+      const TrajectoryStep& b = sched_r[cl][s];
+      if (a.ran != b.ran || !SameQueryResult(a.warm, b.warm) ||
+          !SameQueryResult(a.cold, b.cold)) {
+        std::ostringstream os;
+        os << "engine parity: client " << cl << " step " << s
+           << " differs between loop and scheduler (ran " << a.ran << "/"
+           << b.ran << ")";
+        report->divergences.push_back(
+            Divergence{family, workload_name, cl, os.str()});
+      }
+    }
+  }
+}
+
 /// The continuous moving-client differential axis: persistent warm clients
 /// re-evaluate along seed-determined trajectories; a fresh cold client
 /// re-runs every step at the same instant over the same channel. Warm and
 /// cold must answer identically whenever they answered for the same
 /// generation and both completed; both must match their generation's
 /// oracle; every step must satisfy tuning <= latency; and the aggregate
-/// incomplete accounting must be exact on both paths.
+/// incomplete accounting must be exact on both paths. The axis also runs
+/// the event-driven scheduler engine against the loop oracle on every seed
+/// (bit-exact parity), and — on churned cases — audits the exact
+/// departed/skipped accounting of clients that left mid-run.
 void CheckTrajectories(const std::vector<const air::AirIndexHandle*>& gens,
                        QueryKind kind, const ConformanceCase& c,
                        const std::string& family,
@@ -328,8 +401,22 @@ void CheckTrajectories(const std::vector<const air::AirIndexHandle*>& gens,
   // dynamic cases regularly doze across republication instants.
   wl.pace_packets = static_cast<uint64_t>(rng.UniformInt(
       0, static_cast<int64_t>(2 * gens[0]->program().cycle_packets())));
+  if (c.churn_rate > 0.0) {
+    // Presence spans over the generational horizon: arrivals replace the
+    // uniform tune-in draw, departures cut tours short mid-run.
+    const uint64_t horizon =
+        gens[0]->program().cycle_packets() *
+        std::max<uint64_t>(1, gens.size() *
+                                  std::max<uint64_t>(1, c.gen_cycles));
+    wl.churn = datasets::MakeChurnStream(wl.clients.size(), horizon,
+                                         c.churn_rate, c.seed * 13 + 9);
+  }
 
+  // Every seed runs BOTH simulation cores over the identical workload: the
+  // loop oracle and the event-driven scheduler must agree bit for bit on
+  // the aggregate metrics and on every per-step result.
   std::vector<std::vector<TrajectoryStep>> results;
+  std::vector<std::vector<TrajectoryStep>> sched_results;
   TrajectoryOptions opt;
   opt.seed = c.seed;
   opt.workers = c.workers;
@@ -337,26 +424,49 @@ void CheckTrajectories(const std::vector<const air::AirIndexHandle*>& gens,
   opt.cold_baseline = true;
   opt.results = &results;
   opt.coding = CaseCoding(c);
+  opt.engine = TrajectoryEngine::kLoop;
+  TrajectoryOptions sched_opt = opt;
+  sched_opt.results = &sched_results;
+  sched_opt.engine = TrajectoryEngine::kScheduler;
   TrajectoryMetrics m;
+  TrajectoryMetrics sched_m;
   if (gens.size() == 1) {
     m = RunTrajectories(*gens[0], wl, opt);
+    sched_m = RunTrajectories(*gens[0], wl, sched_opt);
   } else {
     GenerationalIndex gi;
     gi.generations = gens;
     gi.cycles.assign(gens.size(), std::max<uint64_t>(1, c.gen_cycles));
     m = RunTrajectories(gi, wl, opt);
+    sched_m = RunTrajectories(gi, wl, sched_opt);
   }
   report->restarted += m.restarted;
+  CheckEngineParity(m, sched_m, results, sched_results, family,
+                    workload_name, report);
 
   size_t counted_incomplete = 0;
   size_t counted_cold_incomplete = 0;
   size_t counted_steps = 0;
+  size_t counted_skipped = 0;
   size_t counted_repaired = 0;
   size_t counted_cold_repaired = 0;
   for (size_t cl = 0; cl < results.size(); ++cl) {
     for (size_t s = 0; s < results[cl].size(); ++s) {
       const TrajectoryStep& step = results[cl][s];
       const size_t index = cl * c.trajectory_steps + s;
+      if (!step.ran) {
+        // A step a churned client departed before: it must carry no cost
+        // at all — the oracle audits below only apply to steps that
+        // touched the channel.
+        ++counted_skipped;
+        if (step.warm.latency_bytes != 0 || step.warm.tuning_bytes != 0 ||
+            step.cold.latency_bytes != 0 || !step.warm.ids.empty()) {
+          report->divergences.push_back(
+              Divergence{family, workload_name, index,
+                         "skipped step carries nonzero cost or results"});
+        }
+        continue;
+      }
       ++counted_steps;
       counted_repaired += step.warm.repaired;
       counted_cold_repaired += step.cold.repaired;
@@ -445,20 +555,31 @@ void CheckTrajectories(const std::vector<const air::AirIndexHandle*>& gens,
       }
     }
   }
+  // Exact churn accounting rides along: ran + skipped covers the workload
+  // with nothing lost, a churn-free case never skips or departs, and the
+  // departed count can never exceed the population.
   if (m.incomplete != counted_incomplete ||
       m.cold_incomplete != counted_cold_incomplete ||
       m.steps != counted_steps || m.repaired != counted_repaired ||
-      m.cold_repaired != counted_cold_repaired) {
+      m.cold_repaired != counted_cold_repaired ||
+      m.skipped_steps != counted_skipped ||
+      m.steps + m.skipped_steps != wl.num_steps() ||
+      m.departed > wl.clients.size() ||
+      (wl.churn.empty() && (m.departed != 0 || m.skipped_steps != 0))) {
     std::ostringstream os;
     os << "trajectory accounting mismatch: TrajectoryMetrics{steps="
        << m.steps << ", incomplete=" << m.incomplete
        << ", cold_incomplete=" << m.cold_incomplete
        << ", repaired=" << m.repaired
-       << ", cold_repaired=" << m.cold_repaired << "} vs results{steps="
+       << ", cold_repaired=" << m.cold_repaired
+       << ", departed=" << m.departed
+       << ", skipped=" << m.skipped_steps << "} vs results{steps="
        << counted_steps << ", incomplete=" << counted_incomplete
        << ", cold_incomplete=" << counted_cold_incomplete
        << ", repaired=" << counted_repaired
-       << ", cold_repaired=" << counted_cold_repaired << "}";
+       << ", cold_repaired=" << counted_cold_repaired
+       << ", skipped=" << counted_skipped
+       << ", workload=" << wl.num_steps() << "}";
     report->divergences.push_back(
         Divergence{family, workload_name, counted_steps, os.str()});
   }
@@ -578,6 +699,15 @@ ConformanceCase MakeConformanceCase(uint64_t seed) {
     c.trajectory_clients = 1;
     c.trajectory_steps = 2;
   }
+  // Churned populations on a quarter of the seeds (seed arithmetic again):
+  // moderate and total churn both appear; the remaining seeds keep the
+  // churn-free population, which must stay bit-identical to builds without
+  // the churn axis at all.
+  switch ((seed / 17) % 4) {
+    case 1: c.churn_rate = 0.5; break;
+    case 3: c.churn_rate = 1.0; break;
+    default: break;
+  }
   return c;
 }
 
@@ -693,7 +823,8 @@ std::string FormatReproducer(const ConformanceCase& c,
      << " --code-group=" << c.code_group
      << " --code-parity=" << c.code_parity
      << " --traj-clients=" << c.trajectory_clients
-     << " --traj-steps=" << c.trajectory_steps;
+     << " --traj-steps=" << c.trajectory_steps
+     << " --churn-rate=" << c.churn_rate;
   if (!family.empty()) os << " --families=" << family;
   return os.str();
 }

@@ -94,6 +94,15 @@ struct ConformanceCase {
   /// accounting. 0 clients or 0 steps disables the axis.
   uint32_t trajectory_clients = 2;
   uint32_t trajectory_steps = 4;
+  /// Population churn on the trajectory axis: when > 0, client presence
+  /// spans come from datasets::MakeChurnStream at this rate (arrivals
+  /// spread over the generational horizon, a rate-determined share
+  /// departing mid-run), and the harness audits the exact
+  /// departed/skipped-step accounting. Independently of the rate, the
+  /// trajectory axis ALWAYS runs both simulation cores — the loop oracle
+  /// and the event-driven scheduler (TrajectoryEngine) — and diffs their
+  /// metrics and every per-step result bit-exactly.
+  double churn_rate = 0.0;
 };
 
 /// Randomizes a case from a sweep seed. Guarantees coverage of m = 1 and

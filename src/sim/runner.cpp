@@ -9,6 +9,7 @@
 
 #include "broadcast/generation.hpp"
 #include "common/rng.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/seed_mix.hpp"
 #include "sim/worker_pool.hpp"
 
@@ -65,6 +66,30 @@ void RecordResult(const Workload& wl, size_t i,
                         &(*results)[i]);
 }
 
+/// Visits the shard's queries either in workload order (the default) or —
+/// RunOptions::scheduled — in tune-in order through a calendar queue: each
+/// one-shot query is a client whose single wake is its tune-in packet, so
+/// the channel timeline drives execution. The tune-in draw here replays
+/// exactly the first draw of query i's index-forked rng, which \p run
+/// re-derives from scratch — a pure reordering of independent clients,
+/// bit-identical to index order.
+template <typename RunQuery>
+void DriveShard(const RunOptions& options, uint64_t horizon, size_t begin,
+                size_t end, RunQuery&& run) {
+  if (!options.scheduled) {
+    for (size_t i = begin; i < end; ++i) run(i);
+    return;
+  }
+  CalendarQueue calendar(std::max<uint64_t>(1, horizon / 256));
+  for (size_t i = begin; i < end; ++i) {
+    common::Rng rng(MixSeed(options.seed, i));
+    const auto tune_in = static_cast<uint64_t>(
+        rng.UniformInt(0, static_cast<int64_t>(horizon) - 1));
+    calendar.Push(tune_in, static_cast<uint32_t>(i));
+  }
+  while (!calendar.empty()) run(calendar.Pop().client);
+}
+
 ShardSums RunShard(const air::AirIndexHandle& index,
                    const broadcast::BroadcastProgram& program,
                    const Workload& wl, const RunOptions& options, size_t begin,
@@ -77,7 +102,7 @@ ShardSums RunShard(const air::AirIndexHandle& index,
   // calls: every query constructs its client into recycled storage.
   thread_local air::ClientArena arena;
   ShardSums sums;
-  for (size_t i = begin; i < end; ++i) {
+  DriveShard(options, program.cycle_packets(), begin, end, [&](size_t i) {
     common::Rng rng(MixSeed(options.seed, i));
     const auto tune_in = static_cast<uint64_t>(rng.UniformInt(
         0, static_cast<int64_t>(program.cycle_packets()) - 1));
@@ -98,7 +123,7 @@ ShardSums RunShard(const air::AirIndexHandle& index,
       RecordResult(wl, i, answer, client->stats().completed, /*generation=*/0,
                    /*restarts=*/0, m, options.results);
     }
-  }
+  });
   return sums;
 }
 
@@ -109,7 +134,7 @@ ShardSums RunGenerationalShard(const GenerationalIndex& index,
   thread_local air::ClientArena arena;
   ShardSums sums;
   const uint64_t horizon = schedule.TuneInHorizon();
-  for (size_t i = begin; i < end; ++i) {
+  DriveShard(options, horizon, begin, end, [&](size_t i) {
     common::Rng rng(MixSeed(options.seed, i));
     const auto tune_in = static_cast<uint64_t>(
         rng.UniformInt(0, static_cast<int64_t>(horizon) - 1));
@@ -153,7 +178,7 @@ ShardSums RunGenerationalShard(const GenerationalIndex& index,
       RecordResult(wl, i, answer, completed, session.generation(), restarts,
                    m, options.results);
     }
-  }
+  });
   return sums;
 }
 

@@ -93,6 +93,14 @@ struct RunOptions {
   /// interleaved per group) and lost reads repair in place. Disabled runs
   /// are byte-identical to a build without the coding layer.
   broadcast::CodingConfig coding;
+  /// Event-driven execution order (sim/scheduler.hpp): each query is a
+  /// one-shot client whose single wake is its tune-in packet, and every
+  /// shard processes its queries through a calendar queue in wake order —
+  /// the channel timeline, not the workload array, drives execution.
+  /// Queries are independent clients with index-forked randomness, so this
+  /// is a pure reordering: metrics and results are bit-identical to the
+  /// default path for any worker count (tests/scheduler_test.cpp).
+  bool scheduled = false;
 };
 
 /// Runs every query of \p workload against \p index and averages the

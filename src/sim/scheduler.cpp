@@ -1,0 +1,75 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace dsi::sim {
+
+void CalendarQueue::Push(uint64_t wake_packet, uint32_t client) {
+  const uint64_t day = wake_packet / width_;
+  assert(day >= day_);
+  if (day == day_ && harvested_) {
+    // The current day is already draining in sorted order: merge the event
+    // into the pending run (descending storage, pop_back = min). Wakes a
+    // client schedules while its day drains are strictly later than the
+    // wake just popped, so the merge preserves the global pop order.
+    const Event e{wake_packet, client};
+    const auto it =
+        std::lower_bound(pending_.begin(), pending_.end(), e, Later);
+    pending_.insert(it, e);
+  } else {
+    ring_[day % ring_.size()].push_back(Event{wake_packet, client});
+  }
+  ++size_;
+}
+
+CalendarQueue::Event CalendarQueue::Pop() {
+  assert(size_ > 0);
+  while (pending_.empty()) {
+    if (!harvested_) {
+      Harvest();
+      if (!pending_.empty()) break;
+    }
+    ++day_;
+    harvested_ = false;
+    if (++empty_streak_ >= ring_.size()) {
+      // A whole lap of empty days: everything pending is at least one ring
+      // period ahead. Jump straight to the earliest event's day instead of
+      // spinning the calendar.
+      day_ = MinPendingDay();
+      empty_streak_ = 0;
+    }
+  }
+  const Event e = pending_.back();
+  pending_.pop_back();
+  --size_;
+  empty_streak_ = 0;
+  return e;
+}
+
+void CalendarQueue::Harvest() {
+  std::vector<Event>& bucket = ring_[day_ % ring_.size()];
+  size_t kept = 0;
+  for (const Event& e : bucket) {
+    if (e.wake_packet / width_ == day_) {
+      pending_.push_back(e);
+    } else {
+      bucket[kept++] = e;
+    }
+  }
+  bucket.resize(kept);
+  std::sort(pending_.begin(), pending_.end(), Later);
+  harvested_ = true;
+}
+
+uint64_t CalendarQueue::MinPendingDay() const {
+  uint64_t min_day = UINT64_MAX;
+  for (const std::vector<Event>& bucket : ring_) {
+    for (const Event& e : bucket) {
+      min_day = std::min(min_day, e.wake_packet / width_);
+    }
+  }
+  assert(min_day != UINT64_MAX);
+  return min_day;
+}
+
+}  // namespace dsi::sim

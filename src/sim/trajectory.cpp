@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "broadcast/generation.hpp"
 #include "common/rng.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/seed_mix.hpp"
 #include "sim/worker_pool.hpp"
 
@@ -31,6 +33,8 @@ struct TourSums {
   size_t cold_incomplete = 0;
   size_t repaired = 0;
   size_t cold_repaired = 0;
+  size_t departed = 0;
+  size_t skipped_steps = 0;
 };
 
 /// Runs the step query of client \p c at step \p s on \p client.
@@ -93,99 +97,263 @@ void RunColdStep(const std::vector<const air::AirIndexHandle*>& gens,
   }
 }
 
-/// One client's whole tour: a single session, a persistent warm client,
-/// one re-evaluation per step (plus the optional cold baseline per step).
-void RunTour(const std::vector<const air::AirIndexHandle*>& gens,
-             const broadcast::GenerationSchedule& schedule,
-             const TrajectoryWorkload& wl, const TrajectoryOptions& options,
-             size_t c, TourSums* sums,
-             std::vector<TrajectoryStep>* steps_out) {
-  const size_t steps = wl.clients[c].size();
-  if (steps == 0) return;
-  common::Rng rng(MixSeed(options.seed, c));
-  const uint64_t horizon = schedule.TuneInHorizon();
-  const auto tune_in = static_cast<uint64_t>(
-      rng.UniformInt(0, static_cast<int64_t>(horizon) - 1));
-  broadcast::ClientSession session(
-      schedule, tune_in, broadcast::ErrorModel{wl.theta, wl.error_mode},
-      rng.Fork());
-
-  // One arena per pool thread for the cold baselines; the warm client owns
-  // its storage for the whole tour (it must survive every cold build).
-  thread_local air::ClientArena cold_arena;
-  std::unique_ptr<air::AirClient> warm;
-  uint64_t warm_gen = 0;
-
-  for (size_t s = 0; s < steps; ++s) {
-    broadcast::Metrics before = session.metrics();
-    if (s > 0 && wl.pace_packets > 0) {
-      session.Pace(wl.pace_packets);
-      // Only the radio-off think time itself is excluded from the step's
-      // cost; whatever Pace spent beyond it — the one-packet re-sync
-      // listen after waking past a republication instant, the doze to the
-      // next bucket boundary — is real radio work the step pays for, so
-      // it stays inside the delta (tuning <= latency keeps holding: every
-      // listened packet also advances the clock).
-      before.access_latency_bytes +=
-          wl.pace_packets * session.program().packet_capacity();
+/// One client's tour, shared verbatim by both engines: a single session, a
+/// persistent warm client, one re-evaluation per step (plus the optional
+/// cold baseline per step). The loop engine drives a Tour to completion in
+/// one Run() call, paying think time with blocking Pace; the scheduler
+/// engine lets Run() yield at the first positive think time and resumes
+/// the tour with ResumeAndRun() when the calendar reaches the yielded wake
+/// packet — the session then executes the identical ResumeAt, so both
+/// engines produce byte-identical metrics and results by construction.
+class Tour {
+ public:
+  Tour(const std::vector<const air::AirIndexHandle*>& gens,
+       const broadcast::GenerationSchedule& schedule,
+       const TrajectoryWorkload& wl, const TrajectoryOptions& options,
+       size_t c, TourSums* sums, std::vector<TrajectoryStep>* steps_out)
+      : gens_(gens),
+        wl_(wl),
+        options_(options),
+        c_(c),
+        sums_(sums),
+        steps_out_(steps_out),
+        depart_(wl.churn.empty() ? UINT64_MAX
+                                 : wl.churn[c].depart_packet) {
+    common::Rng rng(MixSeed(options.seed, c));
+    uint64_t tune_in;
+    if (wl.churn.empty()) {
+      const uint64_t horizon = schedule.TuneInHorizon();
+      tune_in = static_cast<uint64_t>(
+          rng.UniformInt(0, static_cast<int64_t>(horizon) - 1));
+    } else {
+      // Churned populations tune in when their span says they arrive; the
+      // uniform draw is simply replaced (both engines agree, so the churn
+      // axis stays bit-identical between them).
+      tune_in = wl.churn[c].arrive_packet;
     }
-    const uint64_t step_start = session.now_packets();
+    session_.emplace(schedule, tune_in,
+                     broadcast::ErrorModel{wl.theta, wl.error_mode},
+                     rng.Fork());
+  }
+
+  /// Advances the tour from its current step. Blocking mode (loop engine,
+  /// \p yielding = false) runs to the end of the tour or the client's
+  /// departure. Yielding mode (scheduler engine) stops at the first
+  /// positive think time instead of dozing through it: returns true with
+  /// *next_wake set to the packet the client must be woken at. Returns
+  /// false when the tour is over.
+  bool Run(bool yielding, air::ClientArena& cold_arena,
+           uint64_t* next_wake) {
+    const size_t steps = wl_.clients[c_].size();
+    while (s_ < steps) {
+      const uint64_t pace = s_ > 0 ? wl_.pace_packets : 0;
+      const uint64_t wake = session_->now_packets() + pace;
+      if (wake >= depart_) {
+        // The client powers off at this step boundary (or, for a span with
+        // depart <= arrive, never joined): the remaining steps are skipped
+        // with exact accounting, nothing else runs.
+        ++sums_->departed;
+        sums_->skipped_steps += steps - s_;
+        return false;
+      }
+      if (pace > 0 && yielding) {
+        *next_wake = wake;
+        return true;
+      }
+      broadcast::Metrics before = session_->metrics();
+      if (pace > 0) {
+        session_->Pace(pace);
+        before.access_latency_bytes +=
+            pace * session_->program().packet_capacity();
+      }
+      RunStep(before, cold_arena);
+      ++s_;
+    }
+    return false;
+  }
+
+  /// Scheduler engine: the calendar reached \p wake (the value Run
+  /// yielded). Resumes the session at exactly that packet — byte-identical
+  /// to the Pace the loop engine would have performed — runs the due step,
+  /// and continues like Run (yielding again at the next think time).
+  bool ResumeAndRun(uint64_t wake, air::ClientArena& cold_arena,
+                    uint64_t* next_wake) {
+    broadcast::Metrics before = session_->metrics();
+    session_->ResumeAt(wake);
+    before.access_latency_bytes +=
+        wl_.pace_packets * session_->program().packet_capacity();
+    RunStep(before, cold_arena);
+    ++s_;
+    return Run(/*yielding=*/true, cold_arena, next_wake);
+  }
+
+ private:
+  /// One re-evaluation: the body both engines share. The session is
+  /// positioned at the step's start (freshly tuned in, or just woken).
+  void RunStep(const broadcast::Metrics& before,
+               air::ClientArena& cold_arena) {
+    const size_t s = s_;
+    const uint64_t step_start = session_->now_packets();
     // Probe before picking the client: the probe itself may park past a
     // republication instant (step 0 only; later steps fall through).
-    session.InitialProbe();
-    if (warm == nullptr || session.generation() != warm_gen) {
+    session_->InitialProbe();
+    if (warm_ == nullptr || session_->generation() != warm_gen_) {
       // First step, or the broadcast was republished while the client was
       // dozing between re-evaluations: all learned state referred to the
       // dead layout — rebuild against the generation now on air.
-      warm_gen = session.generation();
-      warm = gens[warm_gen]->MakeContinuousClient(&session);
+      warm_gen_ = session_->generation();
+      warm_ = gens_[warm_gen_]->MakeContinuousClient(&*session_);
     }
     std::vector<datasets::SpatialObject> answer;
     bool completed = true;
     size_t restarts = 0;
     while (true) {
-      warm->BeginQuery();
-      answer = RunStepQuery(*warm, wl, c, s);
-      const air::ClientStats st = warm->stats();
+      warm_->BeginQuery();
+      answer = RunStepQuery(*warm_, wl_, c_, s);
+      const air::ClientStats st = warm_->stats();
       if (st.stale) {
         // Republished mid-step: same invalidate-and-restart contract as
         // sim::GenerationalRun, on the same session (the step keeps paying
         // latency from its own start). Generations strictly advance, so
         // this loop is bounded by the schedule length.
-        assert(session.generation() > warm_gen);
-        warm_gen = session.generation();
-        warm = gens[warm_gen]->MakeContinuousClient(&session);
+        assert(session_->generation() > warm_gen_);
+        warm_gen_ = session_->generation();
+        warm_ = gens_[warm_gen_]->MakeContinuousClient(&*session_);
         ++restarts;
         continue;
       }
       completed = st.completed;
       break;
     }
-    const broadcast::Metrics after = session.metrics();
+    const broadcast::Metrics after = session_->metrics();
     const uint64_t step_latency =
         after.access_latency_bytes - before.access_latency_bytes;
     const uint64_t step_tuning = after.tuning_bytes - before.tuning_bytes;
     const uint64_t step_repaired = after.repaired - before.repaired;
-    sums->latency_bytes += step_latency;
-    sums->tuning_bytes += step_tuning;
-    sums->repaired += step_repaired;
-    ++sums->steps;
-    if (!completed) ++sums->incomplete;
-    if (restarts > 0) ++sums->restarted;
+    sums_->latency_bytes += step_latency;
+    sums_->tuning_bytes += step_tuning;
+    sums_->repaired += step_repaired;
+    ++sums_->steps;
+    if (!completed) ++sums_->incomplete;
+    if (restarts > 0) ++sums_->restarted;
     QueryResult* warm_out = nullptr;
     QueryResult* cold_out = nullptr;
-    if (steps_out != nullptr) {
-      warm_out = &(*steps_out)[s].warm;
-      cold_out = &(*steps_out)[s].cold;
+    if (steps_out_ != nullptr) {
+      (*steps_out_)[s].ran = true;
+      warm_out = &(*steps_out_)[s].warm;
+      cold_out = &(*steps_out_)[s].cold;
     }
     if (warm_out != nullptr) {
-      detail::CaptureResult(wl.kind, wl.clients[c][s], answer, completed,
-                            session.generation(), restarts, step_latency,
+      detail::CaptureResult(wl_.kind, wl_.clients[c_][s], answer, completed,
+                            session_->generation(), restarts, step_latency,
                             step_tuning, step_repaired, warm_out);
     }
-    if (options.cold_baseline) {
-      RunColdStep(gens, wl, c, s, session, step_start, options, cold_arena,
-                  sums, cold_out);
+    if (options_.cold_baseline) {
+      RunColdStep(gens_, wl_, c_, s, *session_, step_start, options_,
+                  cold_arena, sums_, cold_out);
+    }
+  }
+
+  const std::vector<const air::AirIndexHandle*>& gens_;
+  const TrajectoryWorkload& wl_;
+  const TrajectoryOptions& options_;
+  const size_t c_;
+  TourSums* const sums_;
+  std::vector<TrajectoryStep>* const steps_out_;
+  const uint64_t depart_;
+  std::optional<broadcast::ClientSession> session_;
+  std::unique_ptr<air::AirClient> warm_;
+  uint64_t warm_gen_ = 0;
+  size_t s_ = 0;  ///< Next step to run.
+};
+
+/// The loop engine's shard body: whole clients, one after another.
+void RunLoopShard(const std::vector<const air::AirIndexHandle*>& gens,
+                  const broadcast::GenerationSchedule& schedule,
+                  const TrajectoryWorkload& wl,
+                  const TrajectoryOptions& options, size_t begin, size_t end,
+                  TourSums* sums) {
+  // One arena per pool thread for the cold baselines; the warm client owns
+  // its storage for the whole tour (it must survive every cold build).
+  thread_local air::ClientArena cold_arena;
+  for (size_t c = begin; c < end; ++c) {
+    if (wl.clients[c].empty()) continue;
+    Tour tour(gens, schedule, wl, options, c, sums,
+              options.results != nullptr ? &(*options.results)[c] : nullptr);
+    tour.Run(/*yielding=*/false, cold_arena, nullptr);
+  }
+}
+
+/// The scheduler engine's shard body: channel-drives-clients. One calendar
+/// queue orders every pending wake in this shard by (packet, client); one
+/// slot pool maps the churning population onto dense recycled storage.
+/// Per-client hot state is SoA: the wake itself lives in the calendar, the
+/// client→slot binding and the Tour slots below are parallel arrays.
+void RunSchedulerShard(const std::vector<const air::AirIndexHandle*>& gens,
+                       const broadcast::GenerationSchedule& schedule,
+                       const TrajectoryWorkload& wl,
+                       const TrajectoryOptions& options, size_t begin,
+                       size_t end, TourSums* sums) {
+  thread_local air::ClientArena cold_arena;
+  constexpr uint32_t kNoSlot = UINT32_MAX;
+  // Calendar day width: the typical inter-wake gap is the think time; an
+  // unpaced population only ever schedules arrivals, spread over the
+  // tune-in horizon.
+  const uint64_t width =
+      wl.pace_packets > 0
+          ? wl.pace_packets
+          : std::max<uint64_t>(1, schedule.TuneInHorizon() / 256);
+  CalendarQueue calendar(width);
+  SlotPool pool;
+  // Per-slot tours, recycled by index. unique_ptr keeps each Tour at a
+  // stable address: the warm AirClient holds a pointer into its session, so
+  // a Tour must never relocate while live (a plain vector<Tour> would move
+  // everything on growth and dangle every warm client).
+  std::vector<std::unique_ptr<Tour>> tours;
+  std::vector<uint32_t> slot_of(end - begin, kNoSlot);  // per client
+
+  // Seed the calendar with every client's arrival wake — computed exactly
+  // as the Tour constructor will (same rng fork), so the Tour is only
+  // built when the channel reaches the client's tune-in instant.
+  for (size_t c = begin; c < end; ++c) {
+    if (wl.clients[c].empty()) continue;
+    uint64_t arrive;
+    if (wl.churn.empty()) {
+      common::Rng rng(MixSeed(options.seed, c));
+      arrive = static_cast<uint64_t>(rng.UniformInt(
+          0, static_cast<int64_t>(schedule.TuneInHorizon()) - 1));
+    } else {
+      arrive = wl.churn[c].arrive_packet;
+    }
+    calendar.Push(arrive, static_cast<uint32_t>(c));
+  }
+
+  while (!calendar.empty()) {
+    const CalendarQueue::Event e = calendar.Pop();
+    const size_t c = e.client;
+    uint32_t& slot = slot_of[c - begin];
+    uint64_t next_wake = 0;
+    bool sleeping;
+    if (slot == kNoSlot) {
+      // Arrival: bind a recycled slot and run the first step burst.
+      slot = pool.Acquire();
+      if (slot >= tours.size()) tours.resize(slot + 1);
+      tours[slot] = std::make_unique<Tour>(
+          gens, schedule, wl, options, c, sums,
+          options.results != nullptr ? &(*options.results)[c] : nullptr);
+      sleeping = tours[slot]->Run(/*yielding=*/true, cold_arena, &next_wake);
+    } else {
+      sleeping = tours[slot]->ResumeAndRun(e.wake_packet, cold_arena,
+                                           &next_wake);
+    }
+    if (sleeping) {
+      calendar.Push(next_wake, e.client);
+    } else {
+      // Tour over (finished or departed): the slot — session storage and
+      // all — goes back to the pool for the next arrival.
+      tours[slot].reset();
+      pool.Release(slot);
+      slot = kNoSlot;
     }
   }
 }
@@ -196,6 +364,7 @@ TrajectoryMetrics RunTrajectoriesImpl(
     const TrajectoryOptions& options) {
   assert(!gens.empty());
   assert(cycles.size() == gens.size());
+  assert(wl.churn.empty() || wl.churn.size() == wl.clients.size());
   const size_t num_clients = wl.clients.size();
   TrajectoryMetrics avg;
   if (options.results != nullptr) {
@@ -233,9 +402,10 @@ TrajectoryMetrics RunTrajectoriesImpl(
   workers = std::min(workers, num_clients);
 
   auto run_shard = [&](size_t begin, size_t end, TourSums* sums) {
-    for (size_t c = begin; c < end; ++c) {
-      RunTour(gens, schedule, wl, options, c, sums,
-              options.results != nullptr ? &(*options.results)[c] : nullptr);
+    if (options.engine == TrajectoryEngine::kScheduler) {
+      RunSchedulerShard(gens, schedule, wl, options, begin, end, sums);
+    } else {
+      RunLoopShard(gens, schedule, wl, options, begin, end, sums);
     }
   };
 
@@ -263,6 +433,8 @@ TrajectoryMetrics RunTrajectoriesImpl(
       total.cold_incomplete += s.cold_incomplete;
       total.repaired += s.repaired;
       total.cold_repaired += s.cold_repaired;
+      total.departed += s.departed;
+      total.skipped_steps += s.skipped_steps;
     }
   }
 
@@ -273,6 +445,8 @@ TrajectoryMetrics RunTrajectoriesImpl(
   avg.cold_incomplete = total.cold_incomplete;
   avg.repaired = total.repaired;
   avg.cold_repaired = total.cold_repaired;
+  avg.departed = total.departed;
+  avg.skipped_steps = total.skipped_steps;
   if (total.steps > 0) {
     const auto steps = static_cast<double>(total.steps);
     avg.latency_bytes = static_cast<double>(total.latency_bytes) / steps;

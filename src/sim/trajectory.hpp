@@ -29,6 +29,12 @@
 /// pool, per-client randomness is forked by client INDEX and cold-side
 /// randomness by (client, step), so every metric and result is
 /// bit-identical for any worker count.
+///
+/// Two simulation cores share one per-step body (TrajectoryEngine): the
+/// loop oracle above, and an event-driven scheduler (sim/scheduler.hpp)
+/// that advances the broadcast timeline and wakes clients at their due
+/// packet — the city-scale path, bit-identical to the loop by
+/// construction and by test.
 
 #include <cstddef>
 #include <cstdint>
@@ -60,6 +66,15 @@ struct TrajectoryWorkload {
   /// Radio-off think time between consecutive re-evaluations, in packets
   /// (the drive time between waypoints). 0 = re-evaluate immediately.
   uint64_t pace_packets = 0;
+  /// Client churn (datasets::MakeChurnStream): entry c is client c's
+  /// presence span. Empty = every client is present from a uniform tune-in
+  /// forever (the original population — bit-identical to builds without
+  /// churn); non-empty must match clients.size(), client c then tunes in
+  /// at its arrive_packet instead of the uniform draw and powers off at
+  /// the first step boundary at or after its depart_packet (running
+  /// queries always finish; skipped steps are accounted exactly — see
+  /// TrajectoryMetrics::skipped_steps and TrajectoryStep::ran).
+  std::vector<datasets::ChurnSpan> churn;
 
   /// Total re-evaluations across all clients.
   size_t num_steps() const {
@@ -94,6 +109,10 @@ TrajectoryWorkload MakeTrajectoryWorkload(
 struct TrajectoryStep {
   QueryResult warm;
   QueryResult cold;
+  /// Whether this step executed at all. False only for steps a churned
+  /// client departed before reaching (or never arrived for) — such entries
+  /// keep their default-constructed results and carry no cost.
+  bool ran = false;
 };
 
 /// Aggregate continuous-query metrics, averaged per re-evaluation.
@@ -112,6 +131,12 @@ struct TrajectoryMetrics {
   /// per-step QueryResult::repaired counters; 0 when coding is disabled.
   size_t repaired = 0;
   size_t cold_repaired = 0;
+  /// Churn accounting (exact): clients whose span cut their tour short —
+  /// including clients that never joined at all (depart <= arrive) — and
+  /// the steps those departures skipped. steps + skipped_steps equals the
+  /// workload's num_steps() always; both are 0 without churn.
+  size_t departed = 0;
+  size_t skipped_steps = 0;
 
   /// Headline reuse metric: share of the cold tuning cost the warm client
   /// did not have to pay (percent).
@@ -127,6 +152,23 @@ struct TrajectoryMetrics {
                : (cold_latency_bytes - latency_bytes) / cold_latency_bytes *
                      100.0;
   }
+};
+
+/// Which simulation core drives the clients.
+enum class TrajectoryEngine : uint8_t {
+  /// Client-drives-channel: walk whole clients one after another, each
+  /// spinning the shared timeline in its own call stack. The oracle path —
+  /// simple, obviously correct, O(N) live call frames; right at small N.
+  kLoop,
+  /// Channel-drives-clients: one event scheduler per worker shard advances
+  /// the broadcast timeline and wakes only the clients whose next-wake
+  /// packet is due (sim::CalendarQueue), with per-client state in
+  /// slot-pooled SoA storage recycled across churn. Metrics and results
+  /// are bit-identical to kLoop for any worker count (clients are passive
+  /// listeners, so wake-order execution is observationally identical to
+  /// client-major execution — enforced by tests/scheduler_test.cpp); the
+  /// point is capacity: 10^6+ concurrent clients on one machine.
+  kScheduler,
 };
 
 /// Execution knobs of one trajectory run.
@@ -148,6 +190,8 @@ struct TrajectoryOptions {
   /// RunOptions::coding. Warm and cold clients listen to the same coded
   /// channel, so warm/cold parity holds under repair too.
   broadcast::CodingConfig coding;
+  /// Simulation core; results are bit-identical either way.
+  TrajectoryEngine engine = TrajectoryEngine::kLoop;
 };
 
 /// Runs every client tour of \p workload against a static broadcast.

@@ -6,19 +6,24 @@
 /// multi-generation broadcasts with update streams, duplicate-heavy
 /// datasets, degenerate queries, and continuous moving-client tours
 /// (persistent warm clients checked for result parity against fresh cold
-/// clients at every step, plus the per-query tuning <= latency audit) —
+/// clients at every step, plus the per-query tuning <= latency audit;
+/// every seed also runs the tours through BOTH simulation cores — the
+/// loop oracle and the event-driven scheduler — and diffs them
+/// bit-exactly, with churned populations on a quarter of the seeds) —
 /// against brute-force oracles:
 ///
 ///   conformance_fuzz --seeds=200 [--start=0] [--families=dsi,hci]
 ///       [--min-generations=3] [--min-updates=2]
 ///       [--theta=0.5 --error-mode=burst --code-group=2 --code-parity=2]
+///       [--clients=8 --churn-rate=0.5]
 ///
 /// --min-generations / --min-updates lift every swept case to at least
 /// that many broadcast generations / update ops between generations — the
 /// dedicated update-stream sweep CI runs. Passing --theta, --error-mode,
-/// --code-group or --code-parity in sweep mode pins that axis across every
-/// swept case (the coded-channel and burst-weather CI sweeps); axes not
-/// pinned keep their seed-determined values.
+/// --code-group, --code-parity, --clients (moving-client population) or
+/// --churn-rate in sweep mode pins that axis across every swept case (the
+/// coded-channel, burst-weather and churn CI sweeps); axes not pinned keep
+/// their seed-determined values.
 ///
 /// A case fails on any oracle divergence (completed queries are checked
 /// against the object set of the generation they answered for) OR — at
@@ -66,6 +71,8 @@ struct Args {
   bool have_theta = false;
   bool have_mode = false;
   bool have_coding = false;
+  bool have_clients = false;
+  bool have_churn = false;
 };
 
 std::vector<std::string> SplitFamilies(const std::string& value) {
@@ -121,8 +128,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     else if (key == "--gen-cycles") args->base.gen_cycles = static_cast<uint32_t>(u64());
     else if (key == "--code-group") { args->base.code_group = static_cast<uint32_t>(u64()); args->have_coding = true; }
     else if (key == "--code-parity") { args->base.code_parity = static_cast<uint32_t>(u64()); args->have_coding = true; }
-    else if (key == "--traj-clients") args->base.trajectory_clients = static_cast<uint32_t>(u64());
+    else if (key == "--traj-clients" || key == "--clients") { args->base.trajectory_clients = static_cast<uint32_t>(u64()); args->have_clients = true; }
     else if (key == "--traj-steps") args->base.trajectory_steps = static_cast<uint32_t>(u64());
+    else if (key == "--churn-rate") { args->base.churn_rate = std::strtod(value.c_str(), nullptr); args->have_churn = true; }
     else if (key == "--min-generations") args->min_generations = static_cast<uint32_t>(u64());
     else if (key == "--min-updates") args->min_updates = static_cast<uint32_t>(u64());
     else {
@@ -206,6 +214,12 @@ ConformanceCase Shrink(ConformanceCase c,
     if (!fails(candidate)) break;
     c = candidate;
   }
+  // Churn-free population (uniform tune-ins, nobody departs).
+  if (c.churn_rate != 0.0) {
+    ConformanceCase candidate = c;
+    candidate.churn_rate = 0.0;
+    if (fails(candidate)) c = candidate;
+  }
   // Uncoded channel (repairs off, plain broadcast layout).
   if (c.code_group != 0 || c.code_parity != 0) {
     ConformanceCase candidate = c;
@@ -249,11 +263,13 @@ int main(int argc, char** argv) {
       args.base.capacity < 32 || args.base.theta < 0.0 ||
       args.base.theta > 1.0 || args.base.workers == 0 ||
       args.base.generations == 0 || args.base.gen_cycles == 0 ||
-      args.base.code_group + args.base.code_parity > 64) {
+      args.base.code_group + args.base.code_parity > 64 ||
+      args.base.churn_rate < 0.0 || args.base.churn_rate > 1.0) {
     std::fprintf(stderr,
                  "invalid case: need --n>=1, 1<=--order<=16, --capacity>=32, "
                  "0<=--theta<=1, --workers>=1, --generations>=1, "
-                 "--gen-cycles>=1, --code-group + --code-parity <= 64\n");
+                 "--gen-cycles>=1, --code-group + --code-parity <= 64, "
+                 "0<=--churn-rate<=1\n");
     return 2;
   }
 
@@ -289,6 +305,8 @@ int main(int argc, char** argv) {
       c.code_group = args.base.code_group;
       c.code_parity = args.base.code_parity;
     }
+    if (args.have_clients) c.trajectory_clients = args.base.trajectory_clients;
+    if (args.have_churn) c.churn_rate = args.base.churn_rate;
     const ConformanceReport r = RunConformanceCase(c, args.families);
     checked += r.queries_checked;
     incomplete += r.incomplete;

@@ -9,7 +9,7 @@
 /// worker counts, which is what makes the queries/sec numbers comparable.
 ///
 ///   perf_smoke [--queries=N] [--objects=N] [--workers=N] [--repeats=N]
-///              [--out=PATH]
+///              [--traj-clients=N] [--out=PATH]
 ///
 /// JSON schema (BENCH_perf.json):
 ///   {
@@ -22,6 +22,14 @@
 ///   }
 /// qps is the best (max) rate over the repeats; seconds is that repeat's
 /// wall-clock. Byte metrics are identical across repeats by construction.
+///
+/// Besides the per-query series, a clients-scaling series (workload
+/// "clients-N", populations 10^3 up to --traj-clients) runs churned
+/// moving-client populations through the event-driven scheduler engine
+/// (sim::TrajectoryEngine::kScheduler, warm path only); there qps counts
+/// executed re-evaluations per second, so the capacity trajectory of the
+/// continuous-query hot path is tracked PR over PR alongside the one-shot
+/// query hot path.
 
 #include <chrono>
 #include <cstdio>
@@ -40,6 +48,7 @@
 #include "hilbert/space_mapper.hpp"
 #include "rtree/rtree_air.hpp"
 #include "sim/runner.hpp"
+#include "sim/trajectory.hpp"
 #include "sim/workload.hpp"
 
 namespace {
@@ -51,6 +60,7 @@ struct Options {
   size_t objects = 10000;
   size_t workers = 0;  // 0 = one per hardware thread
   size_t repeats = 3;
+  size_t traj_clients = 10000;  // clients-scaling series ladder cap
   std::string out = "BENCH_perf.json";
 };
 
@@ -66,6 +76,8 @@ Options ParseOptions(int argc, char** argv) {
       opt.workers = std::stoul(arg.substr(10));
     } else if (arg.rfind("--repeats=", 0) == 0) {
       opt.repeats = std::stoul(arg.substr(10));
+    } else if (arg.rfind("--traj-clients=", 0) == 0) {
+      opt.traj_clients = std::stoul(arg.substr(15));
     } else if (arg.rfind("--out=", 0) == 0) {
       opt.out = arg.substr(6);
     }
@@ -138,6 +150,47 @@ int main(int argc, char** argv) {
   for (const air::AirIndexHandle* h : handles) {
     results.push_back(Measure(*h, window_wl, "window", opt));
     results.push_back(Measure(*h, knn_wl, "knn", opt));
+  }
+
+  // Clients-scaling series: churned moving-client populations through the
+  // event-driven scheduler engine, DSI family. qps = executed
+  // re-evaluations per second; byte metrics are the per-step averages and
+  // must stay bit-identical across optimization PRs.
+  const uint64_t cycle = dsi_air.program().cycle_packets();
+  for (size_t clients = 1000; clients <= opt.traj_clients; clients *= 10) {
+    datasets::TrajectoryParams params;
+    sim::TrajectoryWorkload twl = sim::MakeTrajectoryWorkload(
+        sim::QueryKind::kWindow, clients, 3, params,
+        datasets::UnitUniverse(), 45);
+    twl.window_side = 0.05;
+    twl.pace_packets = cycle / 2;
+    twl.churn = datasets::MakeChurnStream(clients, 4 * cycle, 0.3, 46);
+    sim::TrajectoryOptions topt;
+    topt.seed = 42;
+    topt.workers = opt.workers;
+    topt.cold_baseline = false;
+    topt.engine = sim::TrajectoryEngine::kScheduler;
+    Result r;
+    r.family = "dsi";
+    r.workload = "clients-" + std::to_string(clients);
+    for (size_t rep = 0; rep < opt.repeats; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const sim::TrajectoryMetrics m =
+          sim::RunTrajectories(dsi_air, twl, topt);
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const double sps =
+          secs > 0.0 ? static_cast<double>(m.steps) / secs : 0.0;
+      if (sps > r.qps) {
+        r.qps = sps;
+        r.seconds = secs;
+      }
+      r.queries = m.steps;
+      r.avg_latency_bytes = m.latency_bytes;
+      r.avg_tuning_bytes = m.tuning_bytes;
+    }
+    results.push_back(r);
   }
 
   std::ofstream json(opt.out);
