@@ -39,11 +39,12 @@ constexpr uint64_t kBurstLengthSalt = 0x1E46775C0DEull;
 ClientSession::ClientSession(const BroadcastProgram& program,
                              uint64_t tune_in_packet, ErrorModel errors,
                              common::Rng rng)
-    : program_(&program),
+    : sim_(program),
       tune_in_(tune_in_packet),
       now_(tune_in_packet),
       errors_(errors),
       rng_(rng) {
+  SyncGeneration();
   assert(program_->finalized());
   assert(program_->cycle_packets() > 0);
   ArmErrorModel();
@@ -52,17 +53,35 @@ ClientSession::ClientSession(const BroadcastProgram& program,
 ClientSession::ClientSession(const GenerationSchedule& schedule,
                              uint64_t tune_in_packet, ErrorModel errors,
                              common::Rng rng)
-    : schedule_(&schedule),
+    : sim_(schedule),
       tune_in_(tune_in_packet),
       now_(tune_in_packet),
       errors_(errors),
       rng_(rng) {
-  assert(schedule_->num_generations() > 0);
-  generation_ = schedule_->GenerationAt(tune_in_);
-  program_ = &schedule_->program(generation_);
-  gen_start_ = schedule_->start_packet(generation_);
-  gen_end_ = schedule_->end_packet(generation_);
+  assert(schedule.num_generations() > 0);
+  SyncGeneration();
   ArmErrorModel();
+}
+
+ClientSession::ClientSession(transport::Transport& channel,
+                             uint64_t tune_in_packet, ErrorModel errors,
+                             common::Rng rng)
+    : ext_(&channel),
+      tune_in_(tune_in_packet),
+      now_(tune_in_packet),
+      errors_(errors),
+      rng_(rng) {
+  SyncGeneration();
+  assert(program_->finalized());
+  assert(program_->cycle_packets() > 0);
+  ArmErrorModel();
+}
+
+void ClientSession::SyncGeneration() {
+  generation_ = chan().GenerationAt(now_);
+  program_ = &chan().ProgramOf(generation_);
+  gen_start_ = chan().StartOf(generation_);
+  gen_end_ = chan().EndOf(generation_);
 }
 
 void ClientSession::ArmErrorModel() {
@@ -112,12 +131,7 @@ uint64_t ClientSession::PhysWait(size_t phys_slot) const {
 
 void ClientSession::ParkAtNextBoundary() {
   while (true) {
-    if (schedule_ != nullptr) {
-      generation_ = schedule_->GenerationAt(now_);
-      program_ = &schedule_->program(generation_);
-      gen_start_ = schedule_->start_packet(generation_);
-      gen_end_ = schedule_->end_packet(generation_);
-    }
+    SyncGeneration();
     const uint64_t cycle = program_->cycle_packets();
     const uint64_t pos = (now_ - gen_start_) % cycle;
     size_t slot = program_->SlotStartingAtOrAfter(pos);
@@ -183,10 +197,21 @@ void ClientSession::ResumeAt(uint64_t wake_packet) {
 
 ClientSession ClientSession::ForkColdSession(uint64_t tune_in_packet,
                                              common::Rng rng) const {
-  ClientSession cold =
-      schedule_ != nullptr
-          ? ClientSession(*schedule_, tune_in_packet, errors_, std::move(rng))
-          : ClientSession(*program_, tune_in_packet, errors_, std::move(rng));
+  auto make = [&]() -> ClientSession {
+    if (ext_ != nullptr) {
+      // A live stream has one read position; only a stateless shareable
+      // substrate can carry a second, independently-positioned session.
+      assert(ext_->shareable());
+      return ClientSession(*ext_, tune_in_packet, errors_, std::move(rng));
+    }
+    if (sim_.schedule() != nullptr) {
+      return ClientSession(*sim_.schedule(), tune_in_packet, errors_,
+                           std::move(rng));
+    }
+    return ClientSession(*sim_.single_program(), tune_in_packet, errors_,
+                         std::move(rng));
+  };
+  ClientSession cold = make();
   // One physical channel: the per-bucket-instance loss coins belong to the
   // channel, not the receiver, so the clone must flip the same ones.
   cold.channel_seed_ = channel_seed_;
@@ -509,10 +534,12 @@ void ClientSession::AdvanceTo(uint64_t target_packet) {
     trace_->push_back(TraceEvent{TraceEvent::Kind::kDoze, now_, target_packet,
                                  /*slot=*/0, /*lost=*/false});
   }
+  if (target_packet > now_) chan().Doze(now_, target_packet);
   now_ = target_packet;
 }
 
 void ClientSession::Listen(uint64_t packets) {
+  chan().Listen(now_, packets);
   listened_packets_ += packets;
   now_ += packets;
 }

@@ -16,6 +16,7 @@
 #include "broadcast/generation.hpp"
 #include "broadcast/program.hpp"
 #include "common/rng.hpp"
+#include "transport/transport.hpp"
 
 namespace dsi::broadcast {
 
@@ -128,6 +129,15 @@ class ClientSession {
   ClientSession(const GenerationSchedule& schedule, uint64_t tune_in_packet,
                 ErrorModel errors, common::Rng rng);
 
+  /// Session over an explicit channel substrate (the general form — the
+  /// two constructors above are conveniences that wrap the program /
+  /// schedule in an embedded transport::SimTransport). All protocol logic
+  /// runs here; \p channel only answers where the timetable comes from and
+  /// what time costs (simulated counter vs a live byte stream). The
+  /// transport must outlive the session.
+  ClientSession(transport::Transport& channel, uint64_t tune_in_packet,
+                ErrorModel errors, common::Rng rng);
+
   /// Listens to one packet to synchronize with the channel (every packet
   /// carries an offset to the next bucket boundary), then positions the
   /// client at the start of the next bucket. Idempotent: callers that get
@@ -209,6 +219,11 @@ class ClientSession {
   /// Metrics so far; latency counts from the tune-in instant to now.
   Metrics metrics() const;
 
+  /// Wall-clock side channel of the driving transport: how long the
+  /// session actually blocked on a live channel (all zero when simulated).
+  /// Reported NEXT TO the byte metrics, never mixed into them.
+  transport::WallStats wall() const { return chan().wall(); }
+
   /// Optional radio-state trace: when set, every probe/doze/listen episode
   /// is appended to \p sink (doze episodes of zero length are skipped).
   void set_trace(std::vector<TraceEvent>* sink) { trace_ = sink; }
@@ -224,6 +239,19 @@ class ClientSession {
   const BroadcastProgram& program() const { return *program_; }
 
  private:
+  /// The channel substrate: the externally supplied transport, or the
+  /// embedded simulator view the convenience constructors set up. Member
+  /// (not pointer-to-member) dispatch keeps the session copyable — a
+  /// copied internal session refers to its OWN embedded view.
+  transport::Transport& chan() { return ext_ != nullptr ? *ext_ : sim_; }
+  const transport::Transport& chan() const {
+    return ext_ != nullptr ? static_cast<const transport::Transport&>(*ext_)
+                           : sim_;
+  }
+  /// Re-reads the generation live at now_ from the transport and caches
+  /// its program and [start, end) span.
+  void SyncGeneration();
+
   void AdvanceTo(uint64_t target_packet);  // doze, no tuning cost
   void Listen(uint64_t packets);           // active listening
   /// Shared constructor tail: arms kSingleEvent/kPerBucketLoss/kBurstLoss
@@ -277,9 +305,10 @@ class ClientSession {
   /// the next data bucket and returns whether the bucket was recovered.
   bool TryRepair(size_t data_slot, uint64_t occ);
 
-  const GenerationSchedule* schedule_ = nullptr;  // null for static sessions
-  const BroadcastProgram* program_;
-  uint64_t generation_ = 0;          // index into schedule_ (0 when static)
+  transport::SimTransport sim_;           // embedded simulator substrate
+  transport::Transport* ext_ = nullptr;   // external substrate (overrides)
+  const BroadcastProgram* program_;   // cached: chan().ProgramOf(generation_)
+  uint64_t generation_ = 0;          // transport generation (0 when static)
   uint64_t gen_start_ = 0;           // absolute first packet of generation_
   uint64_t gen_end_ = UINT64_MAX;    // absolute end (exclusive); MAX = forever
   uint64_t tune_in_;

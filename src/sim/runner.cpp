@@ -12,6 +12,7 @@
 #include "sim/scheduler.hpp"
 #include "sim/seed_mix.hpp"
 #include "sim/worker_pool.hpp"
+#include "transport/transport.hpp"
 
 namespace dsi::sim {
 
@@ -91,23 +92,24 @@ void DriveShard(const RunOptions& options, uint64_t horizon, size_t begin,
 }
 
 ShardSums RunShard(const air::AirIndexHandle& index,
-                   const broadcast::BroadcastProgram& program,
-                   const Workload& wl, const RunOptions& options, size_t begin,
-                   size_t end) {
-  // \p program is what is actually on air: index.program() itself, or its
-  // coded re-emission when RunOptions::coding is enabled. Family clients
-  // keep addressing data slots either way.
+                   transport::SimTransport& channel, const Workload& wl,
+                   const RunOptions& options, size_t begin, size_t end) {
+  // \p channel views what is actually on air: index.program() itself, or
+  // its coded re-emission when RunOptions::coding is enabled. Family
+  // clients keep addressing data slots either way. SimTransport is
+  // shareable, so every session on every worker drives the same instance.
   //
   // One arena per pool thread, kept warm across shards AND RunWorkload
   // calls: every query constructs its client into recycled storage.
   thread_local air::ClientArena arena;
+  const broadcast::BroadcastProgram& program = channel.ProgramOf(0);
   ShardSums sums;
   DriveShard(options, program.cycle_packets(), begin, end, [&](size_t i) {
     common::Rng rng(MixSeed(options.seed, i));
     const auto tune_in = static_cast<uint64_t>(rng.UniformInt(
         0, static_cast<int64_t>(program.cycle_packets()) - 1));
     broadcast::ClientSession session(
-        program, tune_in, broadcast::ErrorModel{wl.theta, wl.error_mode},
+        channel, tune_in, broadcast::ErrorModel{wl.theta, wl.error_mode},
         rng.Fork());
     std::unique_ptr<air::AirClient> heap_client;
     air::AirClient* client = nullptr;
@@ -128,18 +130,18 @@ ShardSums RunShard(const air::AirIndexHandle& index,
 }
 
 ShardSums RunGenerationalShard(const GenerationalIndex& index,
-                               const broadcast::GenerationSchedule& schedule,
+                               transport::SimTransport& channel,
                                const Workload& wl, const RunOptions& options,
                                size_t begin, size_t end) {
   thread_local air::ClientArena arena;
   ShardSums sums;
-  const uint64_t horizon = schedule.TuneInHorizon();
+  const uint64_t horizon = channel.schedule()->TuneInHorizon();
   DriveShard(options, horizon, begin, end, [&](size_t i) {
     common::Rng rng(MixSeed(options.seed, i));
     const auto tune_in = static_cast<uint64_t>(
         rng.UniformInt(0, static_cast<int64_t>(horizon) - 1));
     broadcast::ClientSession session(
-        schedule, tune_in, broadcast::ErrorModel{wl.theta, wl.error_mode},
+        channel, tune_in, broadcast::ErrorModel{wl.theta, wl.error_mode},
         rng.Fork());
     // Probe before picking the client: the probe itself may park past a
     // republication instant, and the client must be built for the
@@ -231,6 +233,10 @@ AvgMetrics RunWorkload(const air::AirIndexHandle& index,
   }
   const broadcast::BroadcastProgram& on_air =
       coded.has_value() ? *coded : index.program();
+  // The simulator's channel substrate: a stateless view every session in
+  // every shard shares (the same Transport seam a live StreamTransport
+  // plugs into).
+  transport::SimTransport channel(on_air);
 
   size_t workers =
       options.workers != 0
@@ -240,7 +246,7 @@ AvgMetrics RunWorkload(const air::AirIndexHandle& index,
 
   ShardSums total;
   if (workers <= 1) {
-    total = RunShard(index, on_air, workload, options, 0, n);
+    total = RunShard(index, channel, workload, options, 0, n);
   } else {
     // Shard boundaries depend only on (n, workers); per-query seeds depend
     // only on the query index, so any worker count reproduces the serial
@@ -250,7 +256,7 @@ AvgMetrics RunWorkload(const air::AirIndexHandle& index,
     WorkerPool::Instance().Run(workers, [&](size_t w) {
       const size_t begin = n * w / workers;
       const size_t end = n * (w + 1) / workers;
-      shard_sums[w] = RunShard(index, on_air, workload, options, begin, end);
+      shard_sums[w] = RunShard(index, channel, workload, options, begin, end);
     });
     for (const ShardSums& s : shard_sums) {
       total.latency_bytes += s.latency_bytes;
@@ -304,6 +310,7 @@ AvgMetrics GenerationalRun(const GenerationalIndex& index,
                         : &index.generations[g]->program(),
                     index.cycles[g]);
   }
+  transport::SimTransport channel(schedule);
 
   size_t workers =
       options.workers != 0
@@ -313,14 +320,14 @@ AvgMetrics GenerationalRun(const GenerationalIndex& index,
 
   ShardSums total;
   if (workers <= 1) {
-    total = RunGenerationalShard(index, schedule, workload, options, 0, n);
+    total = RunGenerationalShard(index, channel, workload, options, 0, n);
   } else {
     std::vector<ShardSums> shard_sums(workers);
     WorkerPool::Instance().Run(workers, [&](size_t w) {
       const size_t begin = n * w / workers;
       const size_t end = n * (w + 1) / workers;
       shard_sums[w] =
-          RunGenerationalShard(index, schedule, workload, options, begin, end);
+          RunGenerationalShard(index, channel, workload, options, begin, end);
     });
     for (const ShardSums& s : shard_sums) {
       total.latency_bytes += s.latency_bytes;

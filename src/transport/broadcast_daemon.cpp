@@ -1,0 +1,155 @@
+#include "transport/broadcast_daemon.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace dsi::transport {
+
+BroadcastDaemon::BroadcastDaemon(const wire::HelloPayload& recipe,
+                                 double packets_per_second)
+    : source_(recipe), pps_(packets_per_second) {}
+
+BroadcastDaemon::~BroadcastDaemon() { Stop(); }
+
+bool BroadcastDaemon::Listen(const std::string& endpoint_spec,
+                             std::string* error) {
+  if (!source_.airable()) {
+    if (error != nullptr) {
+      *error = "refusing to serve an empty broadcast (zero-cycle program)";
+    }
+    return false;
+  }
+  if (!ParseEndpoint(endpoint_spec, &endpoint_, error)) return false;
+  listener_ = ListenOn(&endpoint_, error);
+  return listener_.valid();
+}
+
+void BroadcastDaemon::Start() {
+  epoch_ = std::chrono::steady_clock::now();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void BroadcastDaemon::Stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller still has to wait for the join below to have happened;
+    // the first Stop() owns it, so just wait on the accept thread flag.
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  listener_.Close();
+  if (endpoint_.kind == Endpoint::Kind::kUnix && !endpoint_.path.empty()) {
+    ::unlink(endpoint_.path.c_str());
+  }
+}
+
+void BroadcastDaemon::AdvanceAirTo(uint64_t packet) {
+  uint64_t cur = air_pos_.load();
+  while (packet > cur && !air_pos_.compare_exchange_weak(cur, packet)) {
+  }
+}
+
+uint64_t BroadcastDaemon::AirPosition() const {
+  if (pps_ > 0) {
+    const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+    const double secs =
+        std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+            .count();
+    return static_cast<uint64_t>(secs * pps_);
+  }
+  return air_pos_.load();
+}
+
+void BroadcastDaemon::PaceTo(uint64_t packet) {
+  if (pps_ <= 0) return;
+  const auto target =
+      epoch_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(
+                       static_cast<double>(packet) / pps_));
+  std::this_thread::sleep_until(target);
+}
+
+void BroadcastDaemon::AcceptLoop() {
+  while (!stopping_.load()) {
+    SocketFd conn = AcceptOn(listener_, /*timeout_ms=*/100);
+    if (!conn.valid()) continue;
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_threads_.emplace_back(
+        [this, fd = std::move(conn)]() mutable { ServeConnection(std::move(fd)); });
+  }
+}
+
+void BroadcastDaemon::ServeConnection(SocketFd fd) {
+  const broadcast::GenerationSchedule& schedule = source_.schedule();
+  const uint64_t tune_in = std::max(AirPosition(), air_pos_.load());
+
+  // Hello + the complete timetable up front: the client owns every
+  // generation's program before the first bucket arrives.
+  std::vector<uint8_t> out;
+  wire::HelloPayload hello = source_.hello();
+  hello.now_packet = tune_in;
+  wire::AppendFrame(wire::FrameType::kHello, wire::EncodeHello(hello), &out);
+  for (size_t g = 0; g < source_.num_generations(); ++g) {
+    wire::ProgramMeta meta;
+    meta.generation = g;
+    meta.start_packet = schedule.start_packet(g);
+    meta.end_packet = schedule.end_packet(g);
+    wire::AppendFrame(wire::FrameType::kProgram,
+                      wire::EncodeProgramAnnouncement(meta, source_.program(g)),
+                      &out);
+  }
+  if (!SendAll(fd, out.data(), out.size())) return;
+
+  // Stream buckets from the one covering the tune-in packet, forever (or
+  // until a clean stop finishes the current cycle). Each frame is a pure
+  // function of its absolute packet position.
+  uint64_t pos = tune_in;
+  for (;;) {
+    const uint64_t gen = schedule.GenerationAt(pos);
+    const broadcast::BroadcastProgram& program = schedule.program(gen);
+    const uint64_t gen_start = schedule.start_packet(gen);
+    const uint64_t gen_end = schedule.end_packet(gen);
+    const uint64_t cycle = program.cycle_packets();
+    const uint64_t cycle_base =
+        gen_start + ((pos - gen_start) / cycle) * cycle;
+    const size_t slot = program.SlotAtPacket((pos - gen_start) % cycle);
+    const broadcast::Bucket& bucket = program.bucket(slot);
+    const uint64_t frame_start = cycle_base + bucket.start_packet;
+
+    wire::BucketFrame frame;
+    frame.generation = gen;
+    frame.phys_slot = slot;
+    frame.start_packet = frame_start;
+    frame.kind = bucket.kind;
+    frame.payload_id = bucket.payload;
+    frame.content = source_.BucketContent(gen, slot);
+
+    PaceTo(frame_start);
+    out.clear();
+    wire::AppendFrame(wire::FrameType::kBucket, wire::EncodeBucketFrame(frame),
+                      &out);
+    if (!SendAll(fd, out.data(), out.size())) return;  // client went away
+
+    pos = frame_start + bucket.packets;
+    if (pos >= gen_end) pos = gen_end;  // switch instant: next generation
+    AdvanceAirTo(pos);
+
+    // Clean shutdown at the next cycle boundary of the live generation.
+    if (stopping_.load() && (pos - gen_start) % cycle == 0) {
+      out.clear();
+      wire::AppendFrame(wire::FrameType::kShutdown, wire::EncodeShutdown(pos),
+                        &out);
+      SendAll(fd, out.data(), out.size());
+      return;
+    }
+  }
+}
+
+}  // namespace dsi::transport

@@ -64,6 +64,50 @@ bool DecodeDsiTable(const std::vector<uint8_t>& bytes, uint32_t hc_bytes,
   return r.ok();
 }
 
+std::vector<uint8_t> EncodeExpTable(
+    uint64_t own_min_key, const std::vector<expindex::ExpTableEntry>& entries,
+    uint32_t key_bytes) {
+  assert(key_bytes >= 1 && key_bytes <= 16);
+  const size_t key_int = key_bytes > 8 ? 8 : key_bytes;  // value width
+  const size_t key_pad = key_bytes - key_int;            // zero padding
+  ByteWriter w;
+  w.Reserve((1 + entries.size()) * key_bytes +
+            entries.size() * common::kPointerBytes);
+  auto write_key = [&](uint64_t key) {
+    w.WriteUint(key, key_int);
+    w.WriteZeros(key_pad);
+  };
+  write_key(own_min_key);
+  for (const expindex::ExpTableEntry& e : entries) {
+    write_key(e.min_key);
+    w.WriteUint(e.position, common::kPointerBytes);
+  }
+  return w.bytes();
+}
+
+bool DecodeExpTable(const std::vector<uint8_t>& bytes, uint32_t key_bytes,
+                    uint32_t num_entries, uint64_t* own_min_key,
+                    std::vector<expindex::ExpTableEntry>* entries) {
+  if (key_bytes < 1 || key_bytes > 16) return false;
+  const size_t key_int = key_bytes > 8 ? 8 : key_bytes;
+  const size_t key_pad = key_bytes - key_int;
+  ByteReader r(bytes);
+  auto read_key = [&]() {
+    const uint64_t key = r.ReadUint(key_int);
+    r.SkipZeros(key_pad);
+    return key;
+  };
+  *own_min_key = read_key();
+  entries->clear();
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    expindex::ExpTableEntry e;
+    e.min_key = read_key();
+    e.position = static_cast<uint32_t>(r.ReadUint(common::kPointerBytes));
+    entries->push_back(e);
+  }
+  return r.ok() && r.remaining() == 0;
+}
+
 std::vector<uint8_t> EncodeBptNode(
     const std::vector<bptree::BptEntry>& entries) {
   ByteWriter w;

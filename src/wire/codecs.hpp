@@ -22,6 +22,7 @@
 #include "bptree/bptree.hpp"
 #include "datasets/datasets.hpp"
 #include "dsi/index.hpp"
+#include "expindex/expindex.hpp"
 #include "rtree/str_pack.hpp"
 #include "wire/buffer.hpp"
 
@@ -41,6 +42,21 @@ bool DecodeDsiTable(const std::vector<uint8_t>& bytes, uint32_t hc_bytes,
                     uint32_t num_segments, uint32_t num_entries,
                     uint32_t position, core::DsiTableView* table,
                     std::vector<uint64_t>* segment_heads);
+
+// --- exponential-index chunk tables -----------------------------------------
+
+/// Serializes one exponential-index chunk table: the chunk's own min key
+/// followed by entries x (min key, chunk position). The result is exactly
+/// ExpIndex::table_bytes() long for the owning index.
+std::vector<uint8_t> EncodeExpTable(
+    uint64_t own_min_key, const std::vector<expindex::ExpTableEntry>& entries,
+    uint32_t key_bytes);
+
+/// Inverse of EncodeExpTable. \p num_entries comes from system parameters
+/// every client knows. Returns false on malformed input.
+bool DecodeExpTable(const std::vector<uint8_t>& bytes, uint32_t key_bytes,
+                    uint32_t num_entries, uint64_t* own_min_key,
+                    std::vector<expindex::ExpTableEntry>* entries);
 
 // --- B+-tree nodes -----------------------------------------------------------
 
