@@ -10,7 +10,10 @@
 ///   * memory: peak-RSS growth of the rung divided by its population —
 ///     the per-client footprint, which must stay flat up the ladder
 ///     (slot-pooled sessions, calendar events, churn spans: all O(1) per
-///     client);
+///     client). The kernel's peak counter is reset before every rung
+///     (/proc/self/clear_refs) so small rungs aren't masked by earlier,
+///     larger peaks; where the reset is unsupported, masked rungs are
+///     flagged "rss_reliable": false instead of reporting 0;
 ///   * exact churn accounting (ran + skipped = scheduled steps).
 ///
 /// Scale must not change results: client c's tour depends only on
@@ -50,12 +53,26 @@ size_t PeakRssBytes() {
   return 0;
 }
 
+/// Resets VmHWM to the current RSS (writing "5" to clear_refs, Linux >= 4.0)
+/// so each rung's peak delta measures that rung alone. Without the reset the
+/// counter is monotone over the whole process, and anything that ran earlier
+/// at a comparable footprint — here the 1000-client load-independence proof
+/// — masks the smallest rung's delta down to 0, which silently reported a
+/// bogus 0 KB/client. Returns false where unsupported; those rungs are then
+/// flagged unreliable instead of reported as zero.
+bool ResetPeakRss() {
+  std::ofstream clear("/proc/self/clear_refs");
+  clear << "5" << std::flush;
+  return clear.good();
+}
+
 struct Rung {
   size_t clients = 0;
   size_t scheduled_steps = 0;
   dsi::sim::TrajectoryMetrics m;
   double seconds = 0.0;
   size_t rss_delta_bytes = 0;
+  bool rss_reliable = true;
 };
 
 }  // namespace
@@ -163,6 +180,7 @@ int main(int argc, char** argv) {
   std::vector<Rung> rungs;
   for (size_t clients = 1000; clients <= max_clients; clients *= 10) {
     const sim::TrajectoryWorkload wl = make_workload(clients);
+    const bool peak_reset = ResetPeakRss();
     const size_t rss_before = PeakRssBytes();
     const auto t0 = std::chrono::steady_clock::now();
     Rung rung;
@@ -173,6 +191,10 @@ int main(int argc, char** argv) {
     rung.clients = clients;
     rung.scheduled_steps = wl.num_steps();
     rung.rss_delta_bytes = PeakRssBytes() - rss_before;
+    // Without the per-rung peak reset, a delta of 0 means "no growth past
+    // some earlier peak", not "no footprint" — don't present it as a
+    // measurement.
+    rung.rss_reliable = peak_reset || rung.rss_delta_bytes > 0;
     if (rung.m.steps + rung.m.skipped_steps != rung.scheduled_steps) {
       std::fprintf(stderr, "churn accounting broke at %zu clients\n",
                    clients);
@@ -185,6 +207,13 @@ int main(int argc, char** argv) {
                    static_cast<double>(rung.rss_delta_bytes) /
                        static_cast<double>(clients) / 1024.0);
     rungs.push_back(rung);
+  }
+  for (const Rung& r : rungs) {
+    if (!r.rss_reliable) {
+      std::cout << "note: KB/client at " << r.clients
+                << " clients is masked by an earlier equal-or-larger peak "
+                   "(VmHWM reset unsupported on this kernel) — ignore it\n";
+    }
   }
 
   // Per-client cost must stay flat up the ladder: warn loudly if the last
@@ -213,6 +242,7 @@ int main(int argc, char** argv) {
          << ", \"steps_per_sec\": "
          << static_cast<double>(r.m.steps) / r.seconds
          << ", \"rss_delta_bytes\": " << r.rss_delta_bytes
+         << ", \"rss_reliable\": " << (r.rss_reliable ? "true" : "false")
          << ", \"bytes_per_client\": "
          << static_cast<double>(r.rss_delta_bytes) /
                 static_cast<double>(r.clients)

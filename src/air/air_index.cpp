@@ -1,0 +1,37 @@
+#include "air/air_index.hpp"
+
+namespace dsi::air {
+
+std::vector<double> AirIndexHandle::DiskWeights(
+    const datasets::RegionPopularity& popularity,
+    const common::Rect& universe) const {
+  const broadcast::BroadcastProgram& flat = program();
+  const size_t n = flat.num_buckets();
+  std::vector<double> weights(n, -1.0);
+  for (size_t slot = 0; slot < n; ++slot) {
+    common::Point anchor;
+    if (SlotAnchor(slot, &anchor)) {
+      weights[slot] = popularity.Weight(anchor, universe);
+    }
+  }
+  // Anchorless buckets inherit the next anchored weight in cycle order.
+  // The carry starts at the cycle head's first anchored weight so a
+  // trailing index run wraps to the head.
+  double next = 1.0;  // all-anchorless degenerate: one flat tier
+  for (size_t i = 0; i < n; ++i) {
+    if (weights[i] >= 0.0) {
+      next = weights[i];
+      break;
+    }
+  }
+  for (size_t i = n; i-- > 0;) {
+    if (weights[i] >= 0.0) {
+      next = weights[i];
+    } else {
+      weights[i] = next;
+    }
+  }
+  return weights;
+}
+
+}  // namespace dsi::air

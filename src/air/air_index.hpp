@@ -143,6 +143,32 @@ class AirIndexHandle {
   /// The broadcast program clients tune into.
   virtual const broadcast::BroadcastProgram& program() const = 0;
 
+  /// Representative spatial anchor of program() slot \p slot — the location
+  /// of the data object the bucket carries. Returns false for buckets with
+  /// no single location (index tables, tree nodes). Drives popularity-
+  /// ranked multi-disk cycle layouts (air/disk_layout.hpp); every family
+  /// overrides it for its data buckets.
+  virtual bool SlotAnchor(size_t slot, common::Point* anchor) const {
+    (void)slot;
+    (void)anchor;
+    return false;
+  }
+
+  /// Per-slot popularity weights driving the multi-disk cycle layout
+  /// (air/disk_layout.hpp), one entry per program() slot. Data buckets
+  /// weigh their anchor's region; the default gives every anchorless
+  /// bucket the weight of the NEXT anchored bucket in cycle order
+  /// (wrapping) — an index bucket airs immediately before the data it
+  /// points at and must ride the same disk, or every probe pays a
+  /// cross-tier doze between pointer and target. Tree families override
+  /// this with a subtree-max rule: a node is requested by every query
+  /// into its subtree, so it must air at its hottest descendant's
+  /// frequency (the root on the hottest disk), which the adjacency
+  /// default cannot see.
+  virtual std::vector<double> DiskWeights(
+      const datasets::RegionPopularity& popularity,
+      const common::Rect& universe) const;
+
   /// Constructs a client for one query over \p session. The session must be
   /// fresh (InitialProbe not yet called) and outlive the client.
   virtual std::unique_ptr<AirClient> MakeClient(

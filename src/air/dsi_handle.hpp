@@ -24,6 +24,12 @@ class DsiHandle : public AirIndexHandle {
       broadcast::ClientSession* session) const override;
   AirClient* MakeClientIn(ClientArena& arena,
                           broadcast::ClientSession* session) const override;
+  bool SlotAnchor(size_t slot, common::Point* anchor) const override {
+    const broadcast::Bucket& b = program().bucket(slot);
+    if (b.kind != broadcast::BucketKind::kDataObject) return false;
+    *anchor = index_.sorted_objects()[b.payload].location;
+    return true;
+  }
 
   const core::DsiIndex& index() const { return index_; }
 

@@ -57,6 +57,12 @@ class ExpHandle : public AirIndexHandle {
       broadcast::ClientSession* session) const override;
   AirClient* MakeClientIn(ClientArena& arena,
                           broadcast::ClientSession* session) const override;
+  bool SlotAnchor(size_t slot, common::Point* anchor) const override {
+    const broadcast::Bucket& b = program().bucket(slot);
+    if (b.kind != broadcast::BucketKind::kDataObject) return false;
+    *anchor = objects_[b.payload].location;
+    return true;
+  }
 
   const expindex::ExpIndex& index() const { return *index_; }
   const hilbert::SpaceMapper& mapper() const { return mapper_; }

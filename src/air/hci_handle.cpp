@@ -1,5 +1,7 @@
 #include "air/hci_handle.hpp"
 
+#include "air/disk_layout.hpp"
+
 namespace dsi::air {
 
 namespace {
@@ -41,6 +43,12 @@ std::unique_ptr<AirClient> HciHandle::MakeClient(
 AirClient* HciHandle::MakeClientIn(ClientArena& arena,
                                   broadcast::ClientSession* session) const {
   return arena.Create<HciAirClient>(index_, session);
+}
+
+std::vector<double> HciHandle::DiskWeights(
+    const datasets::RegionPopularity& popularity,
+    const common::Rect& universe) const {
+  return TreeDiskWeights(index_.air(), *this, popularity, universe);
 }
 
 }  // namespace dsi::air

@@ -1,5 +1,7 @@
 #include "air/rtree_handle.hpp"
 
+#include "air/disk_layout.hpp"
+
 namespace dsi::air {
 
 namespace {
@@ -42,6 +44,12 @@ std::unique_ptr<AirClient> RtreeHandle::MakeClient(
 AirClient* RtreeHandle::MakeClientIn(ClientArena& arena,
                                   broadcast::ClientSession* session) const {
   return arena.Create<RtreeAirClient>(index_, session);
+}
+
+std::vector<double> RtreeHandle::DiskWeights(
+    const datasets::RegionPopularity& popularity,
+    const common::Rect& universe) const {
+  return TreeDiskWeights(index_.air(), *this, popularity, universe);
 }
 
 }  // namespace dsi::air

@@ -112,7 +112,25 @@ size_t ClientSession::PhysSlot(size_t data_slot) const {
   return data_slot + (data_slot / g) * program_->coding_parity();
 }
 
+size_t ClientSession::NextPhysOf(size_t data_slot) const {
+  if (program_->multi_disk()) {
+    const std::vector<uint32_t>& airings = program_->AiringsOf(data_slot);
+    size_t best = airings.front();
+    uint64_t best_wait = PhysWait(best);
+    for (size_t i = 1; i < airings.size(); ++i) {
+      const uint64_t wait = PhysWait(airings[i]);
+      if (wait < best_wait) {
+        best_wait = wait;
+        best = airings[i];
+      }
+    }
+    return best;
+  }
+  return PhysSlot(data_slot);
+}
+
 size_t ClientSession::PhysToData(size_t phys_slot) const {
+  if (program_->multi_disk()) return program_->DataSlotOf(phys_slot);
   if (!program_->coded()) return phys_slot;
   const size_t stride =
       static_cast<size_t>(program_->coding_group()) + program_->coding_parity();
@@ -220,7 +238,7 @@ ClientSession ClientSession::ForkColdSession(uint64_t tune_in_packet,
 
 uint64_t ClientSession::PacketsUntil(size_t slot) const {
   assert(probed_);
-  return PhysWait(PhysSlot(slot));
+  return PhysWait(NextPhysOf(slot));
 }
 
 void ClientSession::DozeTo(size_t slot) {
@@ -279,8 +297,11 @@ bool ClientSession::ReadBucket(size_t slot) {
     ParkAtNextBoundary();
     return false;
   }
+  // Resolve the target airing before dozing: on a multi-disk cycle the
+  // nearest repetition depends on where the session stands right now, and
+  // DozeTo moves the clock to exactly that airing's boundary.
+  const size_t phys = NextPhysOf(slot);
   DozeTo(slot);
-  const size_t phys = PhysSlot(slot);
   const Bucket& b = program_->bucket(phys);
   const uint64_t listen_start = now_;
   Listen(b.packets);
@@ -515,7 +536,7 @@ void ClientSession::SkipBucket() {
   // bucket's boundary (parity in flight): doze up to it first. Uncoded
   // sessions are already parked there, so the doze is zero packets.
   DozeTo(current_slot_);
-  const Bucket& b = program_->bucket(PhysSlot(current_slot_));
+  const Bucket& b = program_->bucket(NextPhysOf(current_slot_));
   AdvanceTo(now_ + b.packets);
   current_slot_ = (current_slot_ + 1) % program_->num_data_buckets();
 }

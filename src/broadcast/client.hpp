@@ -264,8 +264,14 @@ class ClientSession {
   void ParkAtNextBoundary();
 
   /// Physical slot of data slot \p data_slot in the on-air cycle (identity
-  /// on uncoded programs).
+  /// on uncoded programs). Multi-disk cycles have no unique physical slot —
+  /// use NextPhysOf there.
   size_t PhysSlot(size_t data_slot) const;
+  /// Physical slot of the nearest upcoming airing of data slot
+  /// \p data_slot: on a multi-disk cycle hot slots air several times and
+  /// the session always resolves a read to whichever repetition starts
+  /// soonest; otherwise this is PhysSlot.
+  size_t NextPhysOf(size_t data_slot) const;
   /// Data slot of physical slot \p phys_slot (must be a data bucket).
   size_t PhysToData(size_t phys_slot) const;
   /// Doze distance from now to the next airing of physical slot

@@ -96,9 +96,30 @@ class BroadcastProgram {
   void SetCodingSchedule(uint32_t group, uint32_t parity, size_t num_data) {
     assert(!finalized_);
     assert(group > 0 && parity > 0);
+    assert(num_disks_ == 1);  // coding and multi-disk layouts are exclusive
     coding_group_ = group;
     coding_parity_ = parity;
     num_data_ = num_data;
+  }
+
+  /// Declares this program a multi-frequency (Broadcast-Disks) cycle
+  /// (MakeMultiDiskProgram is the only caller): the cycle's buckets are
+  /// repeated airings of `airings.size()` underlying data slots —
+  /// `slot_of_phys[p]` names the data slot physical bucket p carries and
+  /// `airings[s]` lists every physical slot airing data slot s (hot slots
+  /// appear 2-4x per cycle). Clients keep addressing data slots; the
+  /// session resolves each read to the nearest upcoming airing. Must be
+  /// called after every AddBucket and before Finalize.
+  void SetDiskSchedule(uint32_t num_disks, std::vector<uint32_t> slot_of_phys,
+                       std::vector<std::vector<uint32_t>> airings) {
+    assert(!finalized_);
+    assert(coding_group_ == 0);  // coding and multi-disk layouts are exclusive
+    assert(num_disks > 1);
+    assert(slot_of_phys.size() == buckets_.size());
+    num_disks_ = num_disks;
+    disk_slot_of_phys_ = std::move(slot_of_phys);
+    disk_airings_ = std::move(airings);
+    num_data_ = disk_airings_.size();
   }
 
   bool finalized() const { return finalized_; }
@@ -111,10 +132,23 @@ class BroadcastProgram {
   bool coded() const { return coding_group_ > 0; }
   uint32_t coding_group() const { return coding_group_; }
   uint32_t coding_parity() const { return coding_parity_; }
+  /// True when the cycle repeats hot buckets (see SetDiskSchedule).
+  bool multi_disk() const { return num_disks_ > 1; }
+  uint32_t num_disks() const { return num_disks_; }
+  /// Data slot aired by physical slot \p phys (identity unless multi-disk).
+  size_t DataSlotOf(size_t phys) const {
+    return multi_disk() ? disk_slot_of_phys_[phys] : phys;
+  }
+  /// Every physical slot airing data slot \p data_slot (multi-disk only;
+  /// never empty — every data slot airs at least once per cycle).
+  const std::vector<uint32_t>& AiringsOf(size_t data_slot) const {
+    assert(multi_disk() && data_slot < disk_airings_.size());
+    return disk_airings_[data_slot];
+  }
   /// Number of DATA buckets — the slot space query clients address; equals
-  /// num_buckets() for uncoded programs.
+  /// num_buckets() for plain (uncoded, single-disk) programs.
   size_t num_data_buckets() const {
-    return coded() ? num_data_ : buckets_.size();
+    return (coded() || multi_disk()) ? num_data_ : buckets_.size();
   }
 
   const Bucket& bucket(size_t slot) const {
@@ -135,7 +169,10 @@ class BroadcastProgram {
   uint64_t cycle_packets_ = 0;
   uint32_t coding_group_ = 0;   // data buckets per parity group (0 = uncoded)
   uint32_t coding_parity_ = 0;  // parity buckets per group
-  size_t num_data_ = 0;         // data bucket count when coded
+  size_t num_data_ = 0;         // data bucket count when coded or multi-disk
+  uint32_t num_disks_ = 1;      // frequency tiers (1 = flat cycle)
+  std::vector<uint32_t> disk_slot_of_phys_;          // phys -> data slot
+  std::vector<std::vector<uint32_t>> disk_airings_;  // data slot -> phys
   uint64_t slot_stride_ = 1;        // packets per stride-table entry
   std::vector<size_t> stride_slot_; // coarse packet -> slot table
   bool finalized_ = false;

@@ -1,7 +1,9 @@
 #include "datasets/datasets.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <numeric>
 
 namespace dsi::datasets {
 
@@ -11,6 +13,28 @@ common::Point ClampToUniverse(common::Point p, const common::Rect& u) {
   p.x = std::clamp(p.x, u.min_x, u.max_x);
   p.y = std::clamp(p.y, u.min_y, u.max_y);
   return p;
+}
+
+// Reflect a coordinate that stepped outside back across the boundary (then
+// clamp: a pathological sigma could overshoot the far side too).
+double Reflect(double v, double lo, double hi) {
+  if (v < lo) v = lo + (lo - v);
+  if (v > hi) v = hi - (v - hi);
+  return std::clamp(v, lo, hi);
+}
+
+// Index of the grid x grid region containing p; out-of-universe points
+// clamp to the nearest region.
+size_t RegionOf(const common::Point& p, const common::Rect& u, uint32_t grid) {
+  auto cell = [&](double v, double lo, double extent) -> uint32_t {
+    if (extent <= 0.0) return 0;
+    const double f = (v - lo) / extent * grid;
+    const auto c = static_cast<int64_t>(std::floor(f));
+    return static_cast<uint32_t>(
+        std::clamp<int64_t>(c, 0, static_cast<int64_t>(grid) - 1));
+  };
+  return static_cast<size_t>(cell(p.y, u.min_y, u.Height())) * grid +
+         cell(p.x, u.min_x, u.Width());
 }
 
 }  // namespace
@@ -128,6 +152,119 @@ std::vector<SpatialObject> MakeRealLike(uint64_t seed) {
   return objs;
 }
 
+RegionPopularity::RegionPopularity(uint32_t grid, double skew, uint64_t seed)
+    : grid_(std::max<uint32_t>(1, grid)), skew_(skew) {
+  const size_t regions = static_cast<size_t>(grid_) * grid_;
+  // The seed picks where "downtown" sits; ranks then grow with distance
+  // from it, so popularity is spatially coherent — a hot region's
+  // neighbors are warm, the way a real city center's surroundings are.
+  // (A random rank permutation would leave every query window straddling
+  // hot and cold regions, since a window spans several grid cells.)
+  common::Rng rng(seed);
+  const auto hx = static_cast<int64_t>(
+      rng.UniformInt(0, static_cast<int64_t>(grid_) - 1));
+  const auto hy = static_cast<int64_t>(
+      rng.UniformInt(0, static_cast<int64_t>(grid_) - 1));
+  std::vector<uint32_t> by_distance(regions);
+  std::iota(by_distance.begin(), by_distance.end(), 0u);
+  std::stable_sort(by_distance.begin(), by_distance.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     const auto dist = [&](uint32_t r) {
+                       const int64_t dx =
+                           static_cast<int64_t>(r % grid_) - hx;
+                       const int64_t dy =
+                           static_cast<int64_t>(r / grid_) - hy;
+                       return dx * dx + dy * dy;
+                     };
+                     return dist(a) < dist(b);
+                   });
+  rank_of_region_.resize(regions);
+  for (size_t rank = 0; rank < regions; ++rank) {
+    rank_of_region_[by_distance[rank]] = static_cast<uint32_t>(rank);
+  }
+  cdf_.resize(regions);
+  double total = 0.0;
+  for (size_t r = 0; r < regions; ++r) {
+    total +=
+        1.0 / std::pow(static_cast<double>(rank_of_region_[r]) + 1.0, skew_);
+    cdf_[r] = total;
+  }
+}
+
+double RegionPopularity::Weight(const common::Point& p,
+                                const common::Rect& universe) const {
+  const size_t region = RegionOf(p, universe, grid_);
+  return 1.0 /
+         std::pow(static_cast<double>(rank_of_region_[region]) + 1.0, skew_);
+}
+
+common::Point RegionPopularity::Sample(common::Rng& rng,
+                                       const common::Rect& universe) const {
+  if (skew_ == 0.0) {
+    return common::Point{rng.Uniform(universe.min_x, universe.max_x),
+                         rng.Uniform(universe.min_y, universe.max_y)};
+  }
+  const double draw = rng.Uniform(0.0, cdf_.back());
+  const size_t region = std::min<size_t>(
+      static_cast<size_t>(std::lower_bound(cdf_.begin(), cdf_.end(), draw) -
+                          cdf_.begin()),
+      cdf_.size() - 1);
+  const uint32_t gx = static_cast<uint32_t>(region) % grid_;
+  const uint32_t gy = static_cast<uint32_t>(region) / grid_;
+  const double w = universe.Width() / grid_;
+  const double h = universe.Height() / grid_;
+  return common::Point{rng.Uniform(universe.min_x + gx * w,
+                                   universe.min_x + (gx + 1) * w),
+                       rng.Uniform(universe.min_y + gy * h,
+                                   universe.min_y + (gy + 1) * h)};
+}
+
+common::Point RegionPopularity::HottestCenter(
+    const common::Rect& universe) const {
+  size_t hottest = 0;
+  for (size_t r = 0; r < rank_of_region_.size(); ++r) {
+    if (rank_of_region_[r] == 0) {
+      hottest = r;
+      break;
+    }
+  }
+  const uint32_t gx = static_cast<uint32_t>(hottest) % grid_;
+  const uint32_t gy = static_cast<uint32_t>(hottest) / grid_;
+  return common::Point{
+      universe.min_x + (gx + 0.5) * universe.Width() / grid_,
+      universe.min_y + (gy + 0.5) * universe.Height() / grid_};
+}
+
+std::vector<common::Point> MakeZipfPoints(size_t n,
+                                          const RegionPopularity& popularity,
+                                          const common::Rect& universe,
+                                          uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<common::Point> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(popularity.Sample(rng, universe));
+  }
+  return points;
+}
+
+std::vector<common::Point> MakeHotspotPoints(size_t n,
+                                             const common::Point& center,
+                                             double sigma,
+                                             const common::Rect& universe,
+                                             uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<common::Point> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(common::Point{
+        Reflect(rng.Gaussian(center.x, sigma), universe.min_x, universe.max_x),
+        Reflect(rng.Gaussian(center.y, sigma), universe.min_y,
+                universe.max_y)});
+  }
+  return points;
+}
+
 std::vector<common::Point> MakeTrajectory(size_t steps,
                                           const common::Rect& universe,
                                           const TrajectoryParams& params,
@@ -139,16 +276,29 @@ std::vector<common::Point> MakeTrajectory(size_t steps,
   common::Point pos{rng.Uniform(universe.min_x, universe.max_x),
                     rng.Uniform(universe.min_y, universe.max_y)};
   path.push_back(pos);
-  if (params.model == TrajectoryModel::kRandomWaypoint) {
-    common::Point target{rng.Uniform(universe.min_x, universe.max_x),
-                         rng.Uniform(universe.min_y, universe.max_y)};
+  if (params.model == TrajectoryModel::kRandomWaypoint ||
+      params.model == TrajectoryModel::kHotspotWaypoint) {
+    // Same walk for both waypoint models; only where destinations come
+    // from differs (uniform vs. Gaussian around the hotspot).
+    auto next_target = [&]() {
+      if (params.model == TrajectoryModel::kHotspotWaypoint) {
+        return common::Point{Reflect(rng.Gaussian(params.hotspot.x,
+                                                  params.hotspot_sigma),
+                                     universe.min_x, universe.max_x),
+                             Reflect(rng.Gaussian(params.hotspot.y,
+                                                  params.hotspot_sigma),
+                                     universe.min_y, universe.max_y)};
+      }
+      return common::Point{rng.Uniform(universe.min_x, universe.max_x),
+                           rng.Uniform(universe.min_y, universe.max_y)};
+    };
+    common::Point target = next_target();
     for (size_t s = 1; s < steps; ++s) {
       const double d = common::Distance(pos, target);
       if (d <= params.speed) {
         // Arrive this step, then head somewhere new next step.
         pos = target;
-        target = common::Point{rng.Uniform(universe.min_x, universe.max_x),
-                               rng.Uniform(universe.min_y, universe.max_y)};
+        target = next_target();
       } else {
         const double f = params.speed / d;
         pos = common::Point{pos.x + f * (target.x - pos.x),
@@ -157,18 +307,11 @@ std::vector<common::Point> MakeTrajectory(size_t steps,
       path.push_back(pos);
     }
   } else {
-    // Reflect a coordinate that stepped outside back across the boundary
-    // (then clamp: a pathological sigma could overshoot the far side too).
-    auto reflect = [](double v, double lo, double hi) {
-      if (v < lo) v = lo + (lo - v);
-      if (v > hi) v = hi - (v - hi);
-      return std::clamp(v, lo, hi);
-    };
     for (size_t s = 1; s < steps; ++s) {
       pos = common::Point{
-          reflect(pos.x + rng.Gaussian(0.0, params.sigma), universe.min_x,
+          Reflect(pos.x + rng.Gaussian(0.0, params.sigma), universe.min_x,
                   universe.max_x),
-          reflect(pos.y + rng.Gaussian(0.0, params.sigma), universe.min_y,
+          Reflect(pos.y + rng.Gaussian(0.0, params.sigma), universe.min_y,
                   universe.max_y)};
       path.push_back(pos);
     }

@@ -54,6 +54,63 @@ std::vector<SpatialObject> MakeClustered(size_t n, size_t num_clusters,
 std::vector<SpatialObject> MakeRealLike(uint64_t seed = 7);
 
 // ---------------------------------------------------------------------------
+// Skewed access: Zipf region popularity and Gaussian hotspots
+// ---------------------------------------------------------------------------
+
+/// Zipf-ranked popularity over a grid x grid partition of a universe: the
+/// seed places a hotspot cell ("downtown"), regions are ranked by distance
+/// from it (spatially coherent — a hot region's neighbors are warm, so
+/// windows and trajectories near the hotspot stay inside the hot tier),
+/// and region rank r carries weight 1 / (r + 1)^skew. Drives both skewed query/trajectory streams (Sample)
+/// and the multi-disk broadcast layout (Weight ranks the cycle's buckets),
+/// so a matched (grid, skew, seed) triple makes clients query exactly the
+/// regions the server airs most often. skew = 0 is the uniform degenerate:
+/// every region weighs 1 and Sample reduces to two plain uniform draws.
+class RegionPopularity {
+ public:
+  RegionPopularity(uint32_t grid, double skew, uint64_t seed);
+
+  uint32_t grid() const { return grid_; }
+  double skew() const { return skew_; }
+
+  /// Weight of the region containing \p p (points outside \p universe
+  /// clamp to the nearest region).
+  double Weight(const common::Point& p, const common::Rect& universe) const;
+
+  /// One point from the popularity distribution: a weight-proportional
+  /// region, then uniform within it. With skew = 0 this draws literally
+  /// uniform coordinates over \p universe (bit-identical to MakeUniform's
+  /// per-point draws).
+  common::Point Sample(common::Rng& rng, const common::Rect& universe) const;
+
+  /// Center of the hottest (rank-0) region; anchors Gaussian hotspots.
+  common::Point HottestCenter(const common::Rect& universe) const;
+
+ private:
+  uint32_t grid_;
+  double skew_;
+  std::vector<uint32_t> rank_of_region_;  // rank by distance from the
+                                          // seeded hotspot cell (0 = hottest)
+  std::vector<double> cdf_;               // cumulative region weights
+};
+
+/// \p n query points from the Zipf region-popularity distribution,
+/// seed-deterministic; skew = 0 degenerates to uniform points.
+std::vector<common::Point> MakeZipfPoints(size_t n,
+                                          const RegionPopularity& popularity,
+                                          const common::Rect& universe,
+                                          uint64_t seed);
+
+/// \p n query points Gaussian-distributed around \p center with per-axis
+/// deviation \p sigma (universe units), reflected at the universe boundary
+/// so every point lies inside. Seed-deterministic.
+std::vector<common::Point> MakeHotspotPoints(size_t n,
+                                             const common::Point& center,
+                                             double sigma,
+                                             const common::Rect& universe,
+                                             uint64_t seed);
+
+// ---------------------------------------------------------------------------
 // Moving clients: trajectories for continuous-query workloads
 // ---------------------------------------------------------------------------
 
@@ -68,14 +125,22 @@ enum class TrajectoryModel : uint8_t {
   /// reflected at the universe boundary. Produces local jitter (a
   /// pedestrian, a drifting sensor).
   kGaussianStep,
+  /// Hotspot waypoint: random waypoint whose destinations are Gaussian
+  /// around `hotspot` (deviation `hotspot_sigma`, reflected into the
+  /// universe) instead of uniform — commuters orbiting a downtown. The
+  /// first position stays uniform; the tour is pulled into the hotspot.
+  kHotspotWaypoint,
 };
 
 struct TrajectoryParams {
   TrajectoryModel model = TrajectoryModel::kRandomWaypoint;
-  /// Random waypoint: travel distance per step, in universe units.
+  /// Random/hotspot waypoint: travel distance per step, in universe units.
   double speed = 0.05;
   /// Gaussian step: per-axis standard deviation, in universe units.
   double sigma = 0.02;
+  /// Hotspot waypoint: attraction center and its per-axis deviation.
+  common::Point hotspot{0.5, 0.5};
+  double hotspot_sigma = 0.1;
 };
 
 /// \p steps positions of one moving client, seed-deterministic. The first

@@ -10,7 +10,12 @@ namespace dsi::core {
 namespace {
 
 /// Watchdog: abort queries that fail to finish within this many broadcast
-/// cycles (only reachable under extreme link-error rates).
+/// cycles (only reachable under extreme link-error rates). On a multi-disk
+/// cycle the budget additionally scales with the disk count: the flat
+/// sweep retries every pending frame once per cycle, but the permuted
+/// layout serializes endgame retries (each lost cold frame costs its own
+/// doze to a once-per-cycle airing), so worst-case recovery stretches by
+/// about that factor.
 constexpr uint64_t kWatchdogCycles = 200;
 
 /// Aggressive kNN falls back to the conservative hop rule after this many
@@ -26,7 +31,8 @@ DsiClient::DsiClient(const DsiIndex& index, broadcast::ClientSession* session)
       layout_(index.num_frames(), index.config().num_segments),
       hc_cells_(index.mapper().curve().num_cells()),
       known_(layout_.m),
-      learned_tables_(index.num_frames(), false) {
+      learned_tables_(index.num_frames(), false),
+      frames_done_(index.num_frames(), false) {
   for (uint32_t s = 0; s < layout_.m; ++s) {
     known_[s].Init(layout_.SegmentLength(s));
   }
@@ -188,7 +194,8 @@ void DsiClient::RunSearch(const RecomputeTargets& recompute_targets,
   session_->InitialProbe();
   generation_ = session_->generation();
   deadline_packets_ = session_->now_packets() +
-                      kWatchdogCycles * session_->program().cycle_packets();
+                      kWatchdogCycles * session_->program().num_disks() *
+                          session_->program().cycle_packets();
   const uint64_t aggressive_deadline =
       session_->now_packets() +
       kAggressiveFallbackCycles * index_.program().cycle_packets();
@@ -328,6 +335,7 @@ void DsiClient::ReadFrameObjects(uint32_t position, uint64_t own_hc) {
   } else {
     covered_.Add(hilbert::HcRange{own_hc, max_hc});
   }
+  frames_done_[position] = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -486,6 +494,36 @@ uint32_t DsiClient::SelectConservativeHop(
   // the only possible hop is the frame itself, next cycle — reachable when
   // a link error left part of the lone frame unretrieved.
   if (table.entries.empty()) return table.position;
+  // Multi-disk cycles: frame position no longer tracks on-air order, so
+  // the farthest-qualifying-gap rule below — tuned for a sequential sweep
+  // — would pay an arbitrary doze on every hop. Visit instead the
+  // possibly-relevant frame whose table airs soonest, over EVERY frame of
+  // the cycle, not just the current table's exponential entries: the entry
+  // list aims logarithmically far in logical order, and bouncing to a
+  // listed-but-cold frame when an unlisted hot one airs first costs a doze
+  // per hop. Relevance uses only learned bounds (loose for unheard frames)
+  // and TableSlot is structural layout knowledge, the same the flat client
+  // uses to resolve entry pointers. Confirmed-done frames are excluded —
+  // they have nothing left to teach, and a hot one whose loose upper bound
+  // still brushes pending would win the wait race forever. Every pending
+  // target lies inside some not-done frame's conservative bounds, so the
+  // scan always finds a candidate while pending is non-empty; false
+  // positives tighten on read and the set shrinks monotonically.
+  if (session_->program().multi_disk()) {
+    uint64_t best_wait = 0;
+    uint32_t best_pos = 0;
+    bool found = false;
+    for (uint32_t pos = 0; pos < layout_.num_frames; ++pos) {
+      if (frames_done_[pos] || !FrameMayIntersect(pos, pending)) continue;
+      const uint64_t wait = session_->PacketsUntil(index_.TableSlot(pos));
+      if (!found || wait < best_wait) {
+        found = true;
+        best_wait = wait;
+        best_pos = pos;
+      }
+    }
+    if (found) return best_pos;
+  }
   // Farthest entry whose skipped gap provably cannot hold pending targets.
   for (auto it = table.entries.rbegin(); it != table.entries.rend(); ++it) {
     if (!GapMayIntersect(table.position, it->position, pending)) {

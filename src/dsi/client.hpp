@@ -255,6 +255,12 @@ class DsiClient {
   // Broadcast positions whose table was already learned (table content is
   // deterministic per position, so re-reads skip the record pass).
   std::vector<bool> learned_tables_;
+  // Frames whose objects are all retrieved and whose span is confirmed:
+  // nothing left to learn there, so the multi-disk nearest-frame hop must
+  // not revisit them (a hot done-frame with a still-loose upper HC bound
+  // would otherwise win the wait race forever — the bound only tightens by
+  // reading OTHER tables).
+  std::vector<bool> frames_done_;
   bool heads_known_ = false;
 
   hilbert::IntervalSet covered_;

@@ -112,12 +112,29 @@ std::optional<uint32_t> ExpClient::ReadNextTable() {
   const auto& program = index_.program();
   const size_t nb = program.num_buckets();
   while (!WatchdogExpired()) {
-    size_t slot = session_->current_slot();
-    size_t guard = 0;
-    while (program.bucket(slot).kind !=
-           broadcast::BucketKind::kDsiFrameTable) {
-      slot = (slot + 1) % nb;
-      if (++guard > nb) return std::nullopt;
+    size_t slot;
+    if (session_->program().multi_disk()) {
+      // Logical slot order no longer tracks airing order: take the chunk
+      // table airing soonest — the literal "next table the radio hears" —
+      // instead of the logically next one, which may be tiers away.
+      uint64_t best_wait = UINT64_MAX;
+      slot = 0;
+      for (uint32_t c = 0; c < index_.num_chunks(); ++c) {
+        const size_t s = index_.TableSlot(c);
+        const uint64_t w = session_->PacketsUntil(s);
+        if (w < best_wait) {
+          best_wait = w;
+          slot = s;
+        }
+      }
+    } else {
+      slot = session_->current_slot();
+      size_t guard = 0;
+      while (program.bucket(slot).kind !=
+             broadcast::BucketKind::kDsiFrameTable) {
+        slot = (slot + 1) % nb;
+        if (++guard > nb) return std::nullopt;
+      }
     }
     const uint32_t pos = program.bucket(slot).payload;
     // A continuous client that already holds this table reasons over it in
@@ -148,12 +165,26 @@ std::optional<uint32_t> ExpClient::Forward(uint32_t from, uint64_t key) {
     const uint64_t rel_key = key - cur_min;
     // Containment: key before the next chunk's minimum.
     if (rel_key < entries.front().min_key - cur_min) return pos;
-    // Farthest entry that does not overshoot.
+    // Farthest entry that does not overshoot. On a multi-disk cycle the
+    // two farthest qualifying entries compete on airing wait: the runner-up
+    // sits at half the leader's exponential distance, so taking it still
+    // cuts the remaining distance geometrically (the chain stays
+    // logarithmic), and it often airs a whole tier sooner than a leader
+    // that would cost a cross-tier doze.
     uint32_t next = entries.front().position;
-    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
-      if (it->min_key - cur_min <= rel_key) {
-        next = it->position;
+    size_t farthest = 0;
+    for (size_t i = entries.size(); i-- > 0;) {
+      if (entries[i].min_key - cur_min <= rel_key) {
+        farthest = i;
+        next = entries[i].position;
         break;
+      }
+    }
+    if (session_->program().multi_disk() && farthest > 0) {
+      const uint32_t runner_up = entries[farthest - 1].position;
+      if (session_->PacketsUntil(index_.TableSlot(runner_up)) <
+          session_->PacketsUntil(index_.TableSlot(next))) {
+        next = runner_up;
       }
     }
     // Hop: read the chosen chunk's table (loss recovery may land later;

@@ -162,7 +162,17 @@ void HciClient::FlushPassingData(uint32_t before_node) {
 
 void HciClient::RetrieveRanges(const std::vector<hilbert::HcRange>& targets) {
   const auto& tree = index_.tree();
-  const uint64_t half_cycle = index_.program().cycle_packets() / 2;
+  // Scan-vs-wait break-even: half the flat cycle classically; on a
+  // multi-disk cycle the on-air major cycle divided by twice the disk
+  // count — a cold internal node there repeats only once per (longer)
+  // major cycle while leaf scans stay pipelined within their tier, so the
+  // descent is worth abandoning much sooner. Single-disk sessions (plain
+  // or coded) keep the index's own cycle so their paths stay untouched.
+  const broadcast::BroadcastProgram& on_air = session_->program();
+  const uint64_t half_cycle =
+      on_air.multi_disk()
+          ? on_air.cycle_packets() / (2 * on_air.num_disks())
+          : index_.program().cycle_packets() / 2;
   for (const hilbert::HcRange& range : targets) {
     if (WatchdogExpired() || stats_.stale) {
       stats_.completed = false;

@@ -38,6 +38,23 @@ broadcast::CodingConfig CaseCoding(const ConformanceCase& c) {
   return broadcast::CodingConfig{c.code_group, c.code_parity};
 }
 
+broadcast::DiskConfig CaseDisks(const ConformanceCase& c) {
+  broadcast::DiskConfig d;
+  d.num_disks = c.num_disks;
+  d.skew = c.disk_skew;
+  d.pop_seed = c.seed * 31 + 7;  // shared with the skewed query streams
+  return d;
+}
+
+/// The region-popularity distribution of the case — matched to CaseDisks,
+/// so skewed queries hit exactly the regions the multi-disk cycle favors.
+/// With disk_skew = 0 (every non-disk case) Sample degenerates to the
+/// plain uniform draws, keeping those cases' query streams byte-identical.
+datasets::RegionPopularity CasePopularity(const ConformanceCase& c) {
+  return datasets::RegionPopularity(broadcast::DiskConfig{}.grid, c.disk_skew,
+                                    c.seed * 31 + 7);
+}
+
 /// The query mix of one case: window workload plus three kNN workloads.
 struct CaseQueries {
   std::vector<common::Rect> windows;
@@ -73,11 +90,11 @@ CaseQueries MakeQueries(const ConformanceCase& c,
                         const std::vector<datasets::SpatialObject>& objects) {
   const common::Rect u = datasets::UnitUniverse();
   common::Rng rng(c.seed * 0x9E3779B97F4A7C15ull + 0x51D);
+  const datasets::RegionPopularity popularity = CasePopularity(c);
   CaseQueries q;
 
   for (size_t i = 0; i < c.window_queries; ++i) {
-    const common::Point center{rng.Uniform(u.min_x, u.max_x),
-                               rng.Uniform(u.min_y, u.max_y)};
+    const common::Point center = popularity.Sample(rng, u);
     q.windows.push_back(common::MakeClippedWindow(
         center, rng.Uniform(0.02, 0.6) * u.Width(), u));
   }
@@ -99,8 +116,7 @@ CaseQueries MakeQueries(const ConformanceCase& c,
                                    u.max_x + 1.0, u.max_y + 1.0});
 
   for (size_t i = 0; i < c.knn_points; ++i) {
-    q.points.push_back(common::Point{rng.Uniform(u.min_x, u.max_x),
-                                     rng.Uniform(u.min_y, u.max_y)});
+    q.points.push_back(popularity.Sample(rng, u));
   }
   // Degenerate points: slightly outside the universe, far outside, exactly
   // on a universe corner, and exactly on an object.
@@ -204,6 +220,7 @@ void CheckWorkload(const std::vector<const air::AirIndexHandle*>& gens,
   opt.heap_clients = c.heap_clients;
   opt.results = &results;
   opt.coding = CaseCoding(c);
+  opt.disks = CaseDisks(c);
   AvgMetrics metrics;
   if (gens.size() == 1) {
     metrics = RunWorkload(*gens[0], wl, opt);
@@ -390,6 +407,13 @@ void CheckTrajectories(const std::vector<const air::AirIndexHandle*>& gens,
                                  : datasets::TrajectoryModel::kGaussianStep;
   params.speed = rng.Uniform(0.01, 0.15);
   params.sigma = rng.Uniform(0.005, 0.08);
+  if (c.disk_skew > 0.0) {
+    // Skewed-broadcast cases orbit the hottest region, so the tours keep
+    // querying the buckets the multi-disk cycle repeats.
+    params.model = datasets::TrajectoryModel::kHotspotWaypoint;
+    params.hotspot = CasePopularity(c).HottestCenter(u);
+    params.hotspot_sigma = 0.15;
+  }
   TrajectoryWorkload wl =
       MakeTrajectoryWorkload(kind, c.trajectory_clients, c.trajectory_steps,
                              params, u, c.seed * 7 + 5);
@@ -424,6 +448,7 @@ void CheckTrajectories(const std::vector<const air::AirIndexHandle*>& gens,
   opt.cold_baseline = true;
   opt.results = &results;
   opt.coding = CaseCoding(c);
+  opt.disks = CaseDisks(c);
   opt.engine = TrajectoryEngine::kLoop;
   TrajectoryOptions sched_opt = opt;
   sched_opt.results = &sched_results;
@@ -653,6 +678,15 @@ ConformanceCase MakeConformanceCase(uint64_t seed) {
     c.code_group = 2 + static_cast<uint32_t>(seed % 3);
     c.code_parity = 1 + static_cast<uint32_t>((seed / 9) % 2);
   }
+  // Multi-disk (Broadcast-Disks) cycles on a slice of the UNCODED seed
+  // blocks — the two server-side layouts are mutually exclusive. 2 and 3
+  // frequency tiers both appear, under moderate and strong Zipf skew; the
+  // case's query/trajectory streams then draw from the matching skewed
+  // distribution (CasePopularity), so hot buckets are actually queried.
+  if ((seed / 6) % 2 == 0 && (seed / 14) % 2 == 1) {
+    c.num_disks = 2 + static_cast<uint32_t>((seed / 15) % 2);
+    c.disk_skew = seed % 2 == 0 ? 0.8 : 1.4;
+  }
   // Theta: half the seeds are clean; lossy seeds mostly stay in the
   // must-complete band (<= 0.7), with a deterministic extreme-loss band in
   // (0.7, 1.0] where only completed-query correctness and exact incomplete
@@ -824,7 +858,8 @@ std::string FormatReproducer(const ConformanceCase& c,
      << " --code-parity=" << c.code_parity
      << " --traj-clients=" << c.trajectory_clients
      << " --traj-steps=" << c.trajectory_steps
-     << " --churn-rate=" << c.churn_rate;
+     << " --churn-rate=" << c.churn_rate
+     << " --num-disks=" << c.num_disks << " --disk-skew=" << c.disk_skew;
   if (!family.empty()) os << " --families=" << family;
   return os.str();
 }

@@ -103,6 +103,14 @@ struct ConformanceCase {
   /// and the event-driven scheduler (TrajectoryEngine) — and diffs their
   /// metrics and every per-step result bit-exactly.
   double churn_rate = 0.0;
+  /// Skewed multi-disk broadcast axis: when num_disks > 1 the on-air cycle
+  /// is a Broadcast-Disks multi-frequency layout (buckets popularity-ranked
+  /// by a Zipf grid at disk_skew) and the query/trajectory streams draw
+  /// from the matching skewed distribution. The brute-force oracles are
+  /// layout-independent, so exactness across repetitions is checked for
+  /// free. 1 = flat cycle. Mutually exclusive with code_group > 0.
+  uint32_t num_disks = 1;
+  double disk_skew = 0.0;
 };
 
 /// Randomizes a case from a sweep seed. Guarantees coverage of m = 1 and

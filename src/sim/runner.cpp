@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "air/disk_layout.hpp"
 #include "broadcast/generation.hpp"
 #include "common/rng.hpp"
 #include "sim/scheduler.hpp"
@@ -224,12 +225,16 @@ AvgMetrics RunWorkload(const air::AirIndexHandle& index,
   // would underflow), and an empty workload has nothing to average.
   if (n == 0 || index.program().cycle_packets() == 0) return avg;
 
-  // Encode the on-air cycle once per run, not per query; shards share the
-  // (immutable) coded program. Disabled coding takes the index's own
-  // program by reference — no copy, byte-identical to the uncoded engine.
+  // Re-layout the on-air cycle once per run, not per query; shards share
+  // the (immutable) re-emitted program. Disabled coding AND disks take the
+  // index's own program by reference — no copy, byte-identical to the
+  // plain engine.
+  assert(!(options.coding.enabled() && options.disks.enabled()));
   std::optional<broadcast::BroadcastProgram> coded;
   if (options.coding.enabled()) {
     coded.emplace(MakeCodedProgram(index.program(), options.coding));
+  } else if (options.disks.enabled()) {
+    coded.emplace(air::MakeSkewedProgram(index, options.disks));
   }
   const broadcast::BroadcastProgram& on_air =
       coded.has_value() ? *coded : index.program();
@@ -292,22 +297,25 @@ AvgMetrics GenerationalRun(const GenerationalIndex& index,
   }
   if (n == 0) return avg;
 
-  // Each generation is encoded independently: parity groups die with their
-  // generation, and a republication re-encodes the new cycle. The vector is
-  // sized up front — GenerationSchedule holds raw pointers, so the coded
-  // programs must never relocate after Append.
+  // Each generation is re-laid-out independently: parity groups (and disk
+  // schedules) die with their generation, and a republication re-encodes
+  // the new cycle. The vector is sized up front — GenerationSchedule holds
+  // raw pointers, so the re-emitted programs must never relocate after
+  // Append.
+  assert(!(options.coding.enabled() && options.disks.enabled()));
+  const bool relayout = options.coding.enabled() || options.disks.enabled();
   std::vector<broadcast::BroadcastProgram> coded;
-  if (options.coding.enabled()) {
+  if (relayout) {
     coded.reserve(index.generations.size());
     for (const air::AirIndexHandle* handle : index.generations) {
-      coded.push_back(MakeCodedProgram(handle->program(), options.coding));
+      coded.push_back(options.coding.enabled()
+                          ? MakeCodedProgram(handle->program(), options.coding)
+                          : air::MakeSkewedProgram(*handle, options.disks));
     }
   }
   broadcast::GenerationSchedule schedule;
   for (size_t g = 0; g < index.generations.size(); ++g) {
-    schedule.Append(options.coding.enabled()
-                        ? &coded[g]
-                        : &index.generations[g]->program(),
+    schedule.Append(relayout ? &coded[g] : &index.generations[g]->program(),
                     index.cycles[g]);
   }
   transport::SimTransport channel(schedule);

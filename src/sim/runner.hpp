@@ -20,6 +20,7 @@
 
 #include "air/air_index.hpp"
 #include "broadcast/coding.hpp"
+#include "broadcast/disks.hpp"
 #include "sim/workload.hpp"
 
 namespace dsi::sim {
@@ -93,6 +94,13 @@ struct RunOptions {
   /// interleaved per group) and lost reads repair in place. Disabled runs
   /// are byte-identical to a build without the coding layer.
   broadcast::CodingConfig coding;
+  /// Server-side multi-disk (Broadcast-Disks) layout of the on-air cycle
+  /// (air/disk_layout.hpp): buckets binned by Zipf region popularity into
+  /// frequency tiers, hot tiers airing 2-4x per cycle, every read resolved
+  /// to the nearest upcoming repetition. Disabled runs take the index's own
+  /// program by reference — byte-identical to a build without the layer.
+  /// Mutually exclusive with coding.
+  broadcast::DiskConfig disks;
   /// Event-driven execution order (sim/scheduler.hpp): each query is a
   /// one-shot client whose single wake is its tune-in packet, and every
   /// shard processes its queries through a calendar queue in wake order —

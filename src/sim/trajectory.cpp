@@ -6,6 +6,7 @@
 #include <optional>
 #include <thread>
 
+#include "air/disk_layout.hpp"
 #include "broadcast/generation.hpp"
 #include "common/rng.hpp"
 #include "sim/scheduler.hpp"
@@ -378,21 +379,24 @@ TrajectoryMetrics RunTrajectoriesImpl(
   }
   if (num_clients == 0 || wl.num_steps() == 0) return avg;
 
-  // Same per-generation encoding as sim::GenerationalRun: each generation's
-  // cycle is encoded independently and its parity groups die with it. The
-  // vector is sized up front — the schedule keeps raw pointers.
+  // Same per-generation re-layout as sim::GenerationalRun: each
+  // generation's cycle is encoded (or disk-scheduled) independently and
+  // its parity groups / disk schedule die with it. The vector is sized up
+  // front — the schedule keeps raw pointers.
+  assert(!(options.coding.enabled() && options.disks.enabled()));
+  const bool relayout = options.coding.enabled() || options.disks.enabled();
   std::vector<broadcast::BroadcastProgram> coded;
-  if (options.coding.enabled()) {
+  if (relayout) {
     coded.reserve(gens.size());
     for (const air::AirIndexHandle* handle : gens) {
-      coded.push_back(MakeCodedProgram(handle->program(), options.coding));
+      coded.push_back(options.coding.enabled()
+                          ? MakeCodedProgram(handle->program(), options.coding)
+                          : air::MakeSkewedProgram(*handle, options.disks));
     }
   }
   broadcast::GenerationSchedule schedule;
   for (size_t g = 0; g < gens.size(); ++g) {
-    schedule.Append(
-        options.coding.enabled() ? &coded[g] : &gens[g]->program(),
-        cycles[g]);
+    schedule.Append(relayout ? &coded[g] : &gens[g]->program(), cycles[g]);
   }
 
   size_t workers =

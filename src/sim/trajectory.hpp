@@ -190,6 +190,11 @@ struct TrajectoryOptions {
   /// RunOptions::coding. Warm and cold clients listen to the same coded
   /// channel, so warm/cold parity holds under repair too.
   broadcast::CodingConfig coding;
+  /// Server-side multi-disk layout of the on-air cycle(s); see
+  /// RunOptions::disks. Warm and cold clients share the multi-disk channel,
+  /// so warm/cold parity holds across repetitions too. Mutually exclusive
+  /// with coding.
+  broadcast::DiskConfig disks;
   /// Simulation core; results are bit-identical either way.
   TrajectoryEngine engine = TrajectoryEngine::kLoop;
 };

@@ -1,5 +1,6 @@
 #include "broadcast/client.hpp"
 #include "broadcast/coding.hpp"
+#include "broadcast/disks.hpp"
 #include "broadcast/program.hpp"
 
 #include <gtest/gtest.h>
@@ -442,6 +443,104 @@ TEST(ClientSessionTest, CodedRepairChargesExactBytes) {
   EXPECT_EQ(s.metrics().tuning_bytes - tuning_before,
             listened * p.packet_capacity());
   EXPECT_GT(s.metrics().repaired, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-disk (Broadcast Disks) cycle layout
+// ---------------------------------------------------------------------------
+
+/// Seven one-packet buckets, payloads 0..6 — small enough to pin the
+/// chunked schedule by hand.
+BroadcastProgram MakeSevenSlots() {
+  BroadcastProgram p(64);
+  for (uint32_t i = 0; i < 7; ++i) {
+    p.AddBucket(BucketKind::kDataObject, i, 64);
+  }
+  p.Finalize();
+  return p;
+}
+
+TEST(MultiDiskProgramTest, SingleDiskIsIdentity) {
+  const BroadcastProgram flat = MakeSimpleProgram();
+  const std::vector<double> weights = {5.0, 1.0, 9.0, 2.0, 3.0};
+  const BroadcastProgram p = MakeMultiDiskProgram(flat, 1, weights);
+  EXPECT_FALSE(p.multi_disk());
+  ASSERT_EQ(p.num_buckets(), flat.num_buckets());
+  EXPECT_EQ(p.cycle_packets(), flat.cycle_packets());
+  for (size_t i = 0; i < p.num_buckets(); ++i) {
+    EXPECT_EQ(p.bucket(i).kind, flat.bucket(i).kind);
+    EXPECT_EQ(p.bucket(i).payload, flat.bucket(i).payload);
+    EXPECT_EQ(p.bucket(i).start_packet, flat.bucket(i).start_packet);
+    EXPECT_EQ(p.DataSlotOf(i), i);
+  }
+}
+
+TEST(MultiDiskProgramTest, TwoDiskChunkedShape) {
+  // Slots 2 and 5 are hot. K = 2 puts the hottest third of the airtime
+  // (2 of 7 packets) on disk 0, aired every minor cycle; the cold 5 slots
+  // split into two chunks. Within each disk, slots return to flat order:
+  //   minor 0: [2 5 | 0 1]   minor 1: [2 5 | 3 4 6]
+  std::vector<double> weights(7, 1.0);
+  weights[2] = weights[5] = 10.0;
+  const BroadcastProgram p = MakeMultiDiskProgram(MakeSevenSlots(), 2, weights);
+  EXPECT_TRUE(p.multi_disk());
+  EXPECT_EQ(p.num_disks(), 2u);
+  EXPECT_EQ(p.num_data_buckets(), 7u);
+  ASSERT_EQ(p.num_buckets(), 9u);  // 4/3 expansion: 7 data packets -> 9
+  const uint32_t phys_payload[9] = {2, 5, 0, 1, 2, 5, 3, 4, 6};
+  for (size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(p.bucket(i).payload, phys_payload[i]) << "phys " << i;
+    EXPECT_EQ(p.DataSlotOf(i), phys_payload[i]) << "phys " << i;
+  }
+  // Hot slots air twice per major cycle, cold ones once; every airing list
+  // round-trips through DataSlotOf.
+  for (uint32_t slot = 0; slot < 7; ++slot) {
+    const auto& airings = p.AiringsOf(slot);
+    EXPECT_EQ(airings.size(), (slot == 2 || slot == 5) ? 2u : 1u);
+    for (const uint32_t phys : airings) {
+      EXPECT_EQ(p.DataSlotOf(phys), slot);
+    }
+  }
+}
+
+TEST(MultiDiskProgramTest, ThreeDiskFrequenciesAndExpansion) {
+  // Equal weights keep flat order; 14 one-packet slots split 2/4/8 across
+  // the three disks (airtime shares 1/7, 2/7, 4/7), aired 4x/2x/1x over a
+  // 4-minor major cycle — the classic 12/7 expansion.
+  BroadcastProgram flat(64);
+  for (uint32_t i = 0; i < 14; ++i) {
+    flat.AddBucket(BucketKind::kDataObject, i, 64);
+  }
+  flat.Finalize();
+  const BroadcastProgram p =
+      MakeMultiDiskProgram(flat, 3, std::vector<double>(14, 1.0));
+  EXPECT_EQ(p.num_disks(), 3u);
+  EXPECT_EQ(p.num_data_buckets(), 14u);
+  EXPECT_EQ(p.cycle_packets(), 24u);  // 14 * 12/7
+  const size_t airings_by_disk[3] = {4, 2, 1};
+  for (uint32_t slot = 0; slot < 14; ++slot) {
+    const size_t disk = slot < 2 ? 0 : slot < 6 ? 1 : 2;
+    EXPECT_EQ(p.AiringsOf(slot).size(), airings_by_disk[disk])
+        << "slot " << slot;
+  }
+}
+
+TEST(ClientSessionTest, MultiDiskReadsResolveToNearestAiring) {
+  // On the two-disk program above, data slot 2 airs at packets 0 and 4 of
+  // the 9-packet cycle. A client parked at packet 3 reaches it in one
+  // packet (the repetition), not a near-full cycle as on the flat layout.
+  std::vector<double> weights(7, 1.0);
+  weights[2] = weights[5] = 10.0;
+  const BroadcastProgram p = MakeMultiDiskProgram(MakeSevenSlots(), 2, weights);
+  ClientSession s(p, 2, ErrorModel{}, common::Rng(1));
+  s.InitialProbe();  // tuned at packet 2, parked at packet 3
+  EXPECT_EQ(s.PacketsUntil(2), 1u);
+  ASSERT_TRUE(s.ReadBucket(2));
+  EXPECT_EQ(s.now_packets(), 5u);
+  // Next airing of slot 2 wraps to packet 0 of the next major cycle.
+  EXPECT_EQ(s.PacketsUntil(2), 4u);
+  ASSERT_TRUE(s.ReadBucket(2));
+  EXPECT_EQ(s.now_packets(), 10u);
 }
 
 }  // namespace

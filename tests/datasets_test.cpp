@@ -109,5 +109,73 @@ TEST(DatasetsTest, ClusteredBackgroundOnly) {
   EXPECT_EQ(objs.size(), 200u);
 }
 
+TEST(RegionPopularityTest, ZipfPointsSeedDeterministic) {
+  const RegionPopularity pop(8, 1.2, 5);
+  const auto a = MakeZipfPoints(200, pop, UnitUniverse(), 11);
+  const auto b = MakeZipfPoints(200, pop, UnitUniverse(), 11);
+  const auto c = MakeZipfPoints(200, pop, UnitUniverse(), 12);
+  ASSERT_EQ(a.size(), b.size());
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+    differs = differs || a[i].x != c[i].x || a[i].y != c[i].y;
+  }
+  EXPECT_TRUE(differs);  // a different seed draws a different stream
+}
+
+TEST(RegionPopularityTest, SkewZeroIsUniformBitIdentical) {
+  // The skew = 0 degenerate must reduce to literal uniform draws: the same
+  // Rng stream as MakeUniform's per-point coordinates, bit for bit, so a
+  // zero-skew workload is THE uniform workload, not a lookalike.
+  const RegionPopularity pop(8, 0.0, 5);
+  const auto points = MakeZipfPoints(300, pop, UnitUniverse(), 19);
+  const auto objs = MakeUniform(300, UnitUniverse(), 19);
+  ASSERT_EQ(points.size(), objs.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].x, objs[i].location.x);
+    EXPECT_EQ(points[i].y, objs[i].location.y);
+  }
+}
+
+TEST(RegionPopularityTest, SamplesStayInUniverse) {
+  const common::Rect universe{0.25, -1.0, 2.25, 3.0};
+  for (const double skew : {0.0, 0.6, 1.8}) {
+    const RegionPopularity pop(8, skew, 5);
+    const auto points = MakeZipfPoints(500, pop, universe, 3);
+    for (const auto& p : points) {
+      EXPECT_TRUE(universe.Contains(p)) << "skew=" << skew;
+    }
+  }
+}
+
+TEST(RegionPopularityTest, SkewConcentratesMassNearHotspot) {
+  // Spatial coherence: under strong skew, most samples land within a small
+  // neighborhood of the hottest region's center; under skew 0 they spread.
+  const RegionPopularity pop(8, 1.8, 5);
+  const common::Point hot = pop.HottestCenter(UnitUniverse());
+  const auto points = MakeZipfPoints(1000, pop, UnitUniverse(), 3);
+  size_t near = 0;
+  for (const auto& p : points) {
+    const double dx = p.x - hot.x, dy = p.y - hot.y;
+    if (dx * dx + dy * dy < 0.3 * 0.3) ++near;
+  }
+  EXPECT_GT(near, 700u);
+  EXPECT_GT(pop.Weight(hot, UnitUniverse()), 0.99);
+}
+
+TEST(RegionPopularityTest, HotspotPointsDeterministicAndInUniverse) {
+  const RegionPopularity pop(8, 1.2, 5);
+  const common::Point center = pop.HottestCenter(UnitUniverse());
+  const auto a = MakeHotspotPoints(400, center, 0.05, UnitUniverse(), 21);
+  const auto b = MakeHotspotPoints(400, center, 0.05, UnitUniverse(), 21);
+  ASSERT_EQ(a.size(), 400u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+    EXPECT_TRUE(UnitUniverse().Contains(a[i]));
+  }
+}
+
 }  // namespace
 }  // namespace dsi::datasets

@@ -247,6 +247,51 @@ const CodedGoldenRow kGoldenCoded[] = {
     {"expindex", 2, 2, "window", 0.5, 8791728, 92800, 0, 191},
 };
 
+/// One golden row of the skewed multi-disk engine: the same workloads and
+/// seed as kGolden, run with a (num_disks, skew) DiskConfig (grid 8, region
+/// popularity seed 5). The (1, 0) config is the identity contract — its
+/// rows must stay byte-identical to the flat order-6 window rows in
+/// kGolden — while (2, 1.2) and (3, 1.2) pin the chunked hottest-first
+/// layout and the repetition-aware client hops byte for byte. Captured by
+/// the disk section of tools/golden_gen.
+struct DiskGoldenRow {
+  const char* family;
+  uint32_t disks;
+  double skew;
+  const char* kind;
+  double theta;
+  double latency_bytes;
+  double tuning_bytes;
+  size_t incomplete;
+};
+
+const DiskGoldenRow kGoldenDisks[] = {
+    {"dsi", 1, 0, "window", 0, 184389.33333333334, 10640, 0},
+    {"dsi", 1, 0, "window", 0.5, 2743162.6666666665, 24928, 0},
+    {"dsi", 2, 1.2, "window", 0, 260725.33333333334, 10602.666666666666, 0},
+    {"dsi", 2, 1.2, "window", 0.5, 3670896, 20976, 0},
+    {"dsi", 3, 1.2, "window", 0, 279162.66666666669, 10549.333333333334, 0},
+    {"dsi", 3, 1.2, "window", 0.5, 4390762.666666667, 21802.666666666668, 0},
+    {"rtree", 1, 0, "window", 0, 227541.33333333334, 7520, 0},
+    {"rtree", 1, 0, "window", 0.5, 3013450.6666666665, 14069.333333333334, 0},
+    {"rtree", 2, 1.2, "window", 0, 378752, 7520, 0},
+    {"rtree", 2, 1.2, "window", 0.5, 3479898.6666666665, 14965.333333333334, 0},
+    {"rtree", 3, 1.2, "window", 0, 531642.66666666663, 7520, 0},
+    {"rtree", 3, 1.2, "window", 0.5, 3958165.3333333335, 14218.666666666666, 0},
+    {"hci", 1, 0, "window", 0, 290933.33333333331, 6874.666666666667, 0},
+    {"hci", 1, 0, "window", 0.5, 3769648, 13696, 0},
+    {"hci", 2, 1.2, "window", 0, 513162.66666666669, 7130.666666666667, 0},
+    {"hci", 2, 1.2, "window", 0.5, 6149658.666666667, 14320, 0},
+    {"hci", 3, 1.2, "window", 0, 789984, 7194.666666666667, 0},
+    {"hci", 3, 1.2, "window", 0.5, 7997482.666666667, 13168, 0},
+    {"expindex", 1, 0, "window", 0, 1426272, 17834.666666666668, 0},
+    {"expindex", 1, 0, "window", 0.5, 7125546.666666667, 42858.666666666664, 0},
+    {"expindex", 2, 1.2, "window", 0, 2035216, 21674.666666666668, 0},
+    {"expindex", 2, 1.2, "window", 0.5, 9351952, 58528, 0},
+    {"expindex", 3, 1.2, "window", 0, 2585712, 21482.666666666668, 0},
+    {"expindex", 3, 1.2, "window", 0.5, 14168506.666666666, 65098.666666666664, 0},
+};
+
 class GoldenMetricsTest : public ::testing::Test {
  protected:
   static constexpr size_t kQueries = 12;
@@ -354,6 +399,40 @@ TEST_F(GoldenMetricsTest, CodedConfigsAllFamilies) {
     EXPECT_EQ(metrics.tuning_bytes, row.tuning_bytes) << label;
     EXPECT_EQ(metrics.incomplete, row.incomplete) << label;
     EXPECT_EQ(metrics.repaired, row.repaired) << label;
+  }
+}
+
+TEST_F(GoldenMetricsTest, DiskConfigsAllFamilies) {
+  const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 6);
+  const core::DsiIndex dsi(objects_, mapper, kCapacity, core::DsiConfig{});
+  const air::DsiHandle dsi_handle(dsi);
+  const hci::HciIndex hci(objects_, mapper, kCapacity);
+  const air::HciHandle hci_handle(hci);
+  const air::ExpHandle exp_handle(objects_, mapper, kCapacity);
+  const rtree::RtreeIndex rt(objects_, kCapacity);
+  const air::RtreeHandle rtree_handle(rt);
+  const auto handle_for =
+      [&](const char* family) -> const air::AirIndexHandle& {
+    if (std::strcmp(family, "dsi") == 0) return dsi_handle;
+    if (std::strcmp(family, "rtree") == 0) return rtree_handle;
+    if (std::strcmp(family, "hci") == 0) return hci_handle;
+    return exp_handle;
+  };
+  for (const DiskGoldenRow& row : kGoldenDisks) {
+    sim::RunOptions opt;
+    opt.seed = 77;
+    opt.workers = 1;
+    opt.disks = broadcast::DiskConfig{row.disks, row.skew, 8, 5};
+    const auto metrics = sim::RunWorkload(
+        handle_for(row.family), sim::Workload::Window(windows_, row.theta),
+        opt);
+    const std::string label = std::string(row.family) + " disks=" +
+                              std::to_string(row.disks) +
+                              " skew=" + std::to_string(row.skew) +
+                              " theta=" + std::to_string(row.theta);
+    EXPECT_EQ(metrics.latency_bytes, row.latency_bytes) << label;
+    EXPECT_EQ(metrics.tuning_bytes, row.tuning_bytes) << label;
+    EXPECT_EQ(metrics.incomplete, row.incomplete) << label;
   }
 }
 

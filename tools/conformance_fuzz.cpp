@@ -16,14 +16,17 @@
 ///       [--min-generations=3] [--min-updates=2]
 ///       [--theta=0.5 --error-mode=burst --code-group=2 --code-parity=2]
 ///       [--clients=8 --churn-rate=0.5]
+///       [--num-disks=3 --disk-skew=1.2]
 ///
 /// --min-generations / --min-updates lift every swept case to at least
 /// that many broadcast generations / update ops between generations — the
 /// dedicated update-stream sweep CI runs. Passing --theta, --error-mode,
-/// --code-group, --code-parity, --clients (moving-client population) or
-/// --churn-rate in sweep mode pins that axis across every swept case (the
-/// coded-channel, burst-weather and churn CI sweeps); axes not pinned keep
-/// their seed-determined values.
+/// --code-group, --code-parity, --clients (moving-client population),
+/// --churn-rate, --num-disks or --disk-skew in sweep mode pins that axis
+/// across every swept case (the coded-channel, burst-weather, churn and
+/// skewed-multi-disk CI sweeps); axes not pinned keep their
+/// seed-determined values. Coding and multi-disk layouts are mutually
+/// exclusive: pinning one clears the other's seed-determined value.
 ///
 /// A case fails on any oracle divergence (completed queries are checked
 /// against the object set of the generation they answered for) OR — at
@@ -73,6 +76,7 @@ struct Args {
   bool have_coding = false;
   bool have_clients = false;
   bool have_churn = false;
+  bool have_disks = false;
 };
 
 std::vector<std::string> SplitFamilies(const std::string& value) {
@@ -131,6 +135,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     else if (key == "--traj-clients" || key == "--clients") { args->base.trajectory_clients = static_cast<uint32_t>(u64()); args->have_clients = true; }
     else if (key == "--traj-steps") args->base.trajectory_steps = static_cast<uint32_t>(u64());
     else if (key == "--churn-rate") { args->base.churn_rate = std::strtod(value.c_str(), nullptr); args->have_churn = true; }
+    else if (key == "--num-disks") { args->base.num_disks = static_cast<uint32_t>(u64()); args->have_disks = true; }
+    else if (key == "--disk-skew") { args->base.disk_skew = std::strtod(value.c_str(), nullptr); args->have_disks = true; }
     else if (key == "--min-generations") args->min_generations = static_cast<uint32_t>(u64());
     else if (key == "--min-updates") args->min_updates = static_cast<uint32_t>(u64());
     else {
@@ -227,6 +233,14 @@ ConformanceCase Shrink(ConformanceCase c,
     candidate.code_parity = 0;
     if (fails(candidate)) c = candidate;
   }
+  // Flat single-disk cycle (skewed sampling off too: disk_skew drives the
+  // query distribution, so the pair shrinks together).
+  if (c.num_disks != 1 || c.disk_skew != 0.0) {
+    ConformanceCase candidate = c;
+    candidate.num_disks = 1;
+    candidate.disk_skew = 0.0;
+    if (fails(candidate)) c = candidate;
+  }
   // Lossless channel.
   if (c.theta != 0.0) {
     ConformanceCase candidate = c;
@@ -264,12 +278,16 @@ int main(int argc, char** argv) {
       args.base.theta > 1.0 || args.base.workers == 0 ||
       args.base.generations == 0 || args.base.gen_cycles == 0 ||
       args.base.code_group + args.base.code_parity > 64 ||
-      args.base.churn_rate < 0.0 || args.base.churn_rate > 1.0) {
+      args.base.churn_rate < 0.0 || args.base.churn_rate > 1.0 ||
+      args.base.num_disks < 1 || args.base.num_disks > 3 ||
+      args.base.disk_skew < 0.0 ||
+      (args.base.code_group > 0 && args.base.num_disks > 1)) {
     std::fprintf(stderr,
                  "invalid case: need --n>=1, 1<=--order<=16, --capacity>=32, "
                  "0<=--theta<=1, --workers>=1, --generations>=1, "
                  "--gen-cycles>=1, --code-group + --code-parity <= 64, "
-                 "0<=--churn-rate<=1\n");
+                 "0<=--churn-rate<=1, 1<=--num-disks<=3, --disk-skew>=0, "
+                 "and not both --code-group>0 and --num-disks>1\n");
     return 2;
   }
 
@@ -304,6 +322,16 @@ int main(int argc, char** argv) {
     if (args.have_coding) {
       c.code_group = args.base.code_group;
       c.code_parity = args.base.code_parity;
+      // Coding and multi-disk layouts are mutually exclusive; a pinned
+      // coded channel flattens the seed-determined disk axis.
+      c.num_disks = 1;
+      c.disk_skew = 0.0;
+    }
+    if (args.have_disks) {
+      c.num_disks = args.base.num_disks;
+      c.disk_skew = args.base.disk_skew;
+      c.code_group = 0;
+      c.code_parity = 0;
     }
     if (args.have_clients) c.trajectory_clients = args.base.trajectory_clients;
     if (args.have_churn) c.churn_rate = args.base.churn_rate;

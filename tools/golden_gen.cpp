@@ -13,6 +13,7 @@
 
 #include "air/dsi_handle.hpp"
 #include "broadcast/coding.hpp"
+#include "broadcast/disks.hpp"
 #include "air/exp_handle.hpp"
 #include "air/hci_handle.hpp"
 #include "air/rtree_handle.hpp"
@@ -120,6 +121,51 @@ int main() {
         emit_coded(family.c_str(), cfg.first, cfg.second, "window", 0.0, *h,
                    sim::Workload::Window(windows));
         emit_coded(family.c_str(), cfg.first, cfg.second, "window", 0.5, *h,
+                   sim::Workload::Window(windows, 0.5));
+      }
+    }
+  }
+
+  // Multi-disk rows (DiskGoldenRow format: family, disks, skew, kind, theta,
+  // latency, tuning, incomplete). Same workloads and seed; the (1, 0) config
+  // pins the identity contract — it must stay byte-identical to the flat
+  // kGolden order-6 window rows — while (2, 1.2) and (3, 1.2) pin the
+  // skew-aware chunked layout and the repetition-aware client hops.
+  auto emit_disks = [&](const char* family, uint32_t disks, double skew,
+                        const char* kind, double theta,
+                        const air::AirIndexHandle& h, const sim::Workload& wl) {
+    sim::RunOptions opt;
+    opt.seed = 77;
+    opt.workers = 1;
+    opt.disks = broadcast::DiskConfig{disks, skew, 8, 5};
+    const auto metrics = sim::RunWorkload(h, wl, opt);
+    std::printf(
+        "    {\"%s\", %u, %g, \"%s\", %g, %.17g, %.17g, %zu},\n", family,
+        disks, skew, kind, theta, metrics.latency_bytes, metrics.tuning_bytes,
+        metrics.incomplete);
+  };
+
+  {
+    const hilbert::SpaceMapper mapper(datasets::UnitUniverse(), 6);
+    const core::DsiIndex dsi(objects, mapper, kCapacity, core::DsiConfig{});
+    const air::DsiHandle dh(dsi);
+    const hci::HciIndex hci(objects, mapper, kCapacity);
+    const air::HciHandle hh(hci);
+    const air::ExpHandle eh(objects, mapper, kCapacity);
+    const rtree::RtreeIndex rt(objects, kCapacity);
+    const air::RtreeHandle rh(rt);
+    for (const air::AirIndexHandle* h :
+         {static_cast<const air::AirIndexHandle*>(&dh),
+          static_cast<const air::AirIndexHandle*>(&rh),
+          static_cast<const air::AirIndexHandle*>(&hh),
+          static_cast<const air::AirIndexHandle*>(&eh)}) {
+      const std::string family(h->family());
+      for (const auto& cfg : {std::pair<uint32_t, double>{1, 0.0},
+                              std::pair<uint32_t, double>{2, 1.2},
+                              std::pair<uint32_t, double>{3, 1.2}}) {
+        emit_disks(family.c_str(), cfg.first, cfg.second, "window", 0.0, *h,
+                   sim::Workload::Window(windows));
+        emit_disks(family.c_str(), cfg.first, cfg.second, "window", 0.5, *h,
                    sim::Workload::Window(windows, 0.5));
       }
     }
